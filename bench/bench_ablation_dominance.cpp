@@ -1,0 +1,60 @@
+// Ablation A2 — the dominance threshold (paper eqs. 5/6 use 2.6, the point
+// where the quadratic erf approximation saturates). Sweeps the threshold and
+// measures full-netlist FASSTA moments against the exact-Clark engine, plus
+// the runtime effect of taking the early-outs.
+#include <chrono>
+#include <cstdio>
+
+#include "circuits/iscas_suite.h"
+#include "core/flow.h"
+#include "fassta/engine.h"
+#include "util/table.h"
+
+using namespace statsizer;
+
+int main() {
+  std::printf("Ablation A2 — dominance-threshold sweep (c880-class workload)\n\n");
+
+  core::Flow flow;
+  if (const Status s = flow.load_table1("c880"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  (void)flow.run_baseline();
+  auto& ctx = flow.timing();
+
+  // Reference: exact Clark everywhere.
+  fassta::EngineOptions exact_opt;
+  exact_opt.max_mode = fassta::MaxMode::kExact;
+  sta::NodeMoments exact;
+  (void)fassta::Engine(ctx, exact_opt).run(&exact);
+
+  util::Table t({"threshold", "mu (ps)", "sigma (ps)", "dMu vs exact", "dSigma vs exact",
+                 "time/pass (us)"});
+  t.add_row({"exact", util::fmt(exact.mean_ps, 2), util::fmt(exact.sigma_ps, 3), "0",
+             "0", "-"});
+
+  for (const double threshold : {1.2, 1.6, 2.0, 2.6, 3.2, 4.0}) {
+    fassta::EngineOptions opt;
+    opt.max_mode = fassta::MaxMode::kFast;
+    opt.dominance_threshold = threshold;
+    const fassta::Engine engine(ctx, opt);
+
+    sta::NodeMoments m;
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr int kReps = 200;
+    for (int i = 0; i < kReps; ++i) (void)engine.run(&m);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+
+    t.add_row({util::fmt(threshold, 1), util::fmt(m.mean_ps, 2),
+               util::fmt(m.sigma_ps, 3), util::fmt(m.mean_ps - exact.mean_ps, 3),
+               util::fmt(m.sigma_ps - exact.sigma_ps, 3), util::fmt(us, 1)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "# expectation: accuracy is flat for thresholds >= ~2.6 (the quadratic\n"
+      "# erf saturation point); lower thresholds trade accuracy for speed.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation A4 — FULLSSTA pdf sampling rate. The paper picked 10-15 samples
+// per pdf "as a reasonable tradeoff between accuracy and speed"; this sweep
+// quantifies that against a 20k-sample Monte-Carlo reference.
+#include <chrono>
+#include <cstdio>
+
+#include "core/flow.h"
+#include "ssta/fullssta.h"
+#include "ssta/monte_carlo.h"
+#include "util/table.h"
+
+using namespace statsizer;
+
+int main() {
+  std::printf("Ablation A4 — FULLSSTA samples-per-pdf sweep (c880-class)\n\n");
+
+  core::Flow flow;
+  if (const Status s = flow.load_table1("c880"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  (void)flow.run_baseline();
+  auto& ctx = flow.timing();
+
+  ssta::MonteCarloOptions mc_opt;
+  mc_opt.samples = 20000;
+  const auto mc = ssta::run_monte_carlo(ctx, mc_opt);
+  std::printf("Monte-Carlo reference (20k samples): mu %.1f ps, sigma %.2f ps\n\n",
+              mc.mean_ps, mc.sigma_ps);
+
+  util::Table t({"samples/pdf", "mu (ps)", "sigma (ps)", "dMu vs MC", "dSigma vs MC",
+                 "time/pass (ms)"});
+  for (const std::size_t samples : {5u, 7u, 10u, 13u, 15u, 19u, 25u}) {
+    ssta::FullSstaOptions opt;
+    opt.samples_per_pdf = samples;
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr int kReps = 20;
+    ssta::FullSstaResult r;
+    for (int i = 0; i < kReps; ++i) r = ssta::run_fullssta(ctx, opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() / kReps;
+    t.add_row({std::to_string(samples), util::fmt(r.mean_ps, 1),
+               util::fmt(r.sigma_ps, 2), util::fmt_pct(r.mean_ps / mc.mean_ps - 1.0, 2),
+               util::fmt_pct(r.sigma_ps / mc.sigma_ps - 1.0, 1), util::fmt(ms, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "# note: the residual sigma gap vs MC is the independence assumption at\n"
+      "# reconvergent merges (paper section 4.3), not sampling resolution —\n"
+      "# it does not close as samples increase.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces the paper's Figure 3: tracing the worst-negative-statistical-
+// slack (WNSS) input at a node X whose five upstream arrivals have the
+// moments printed in the figure:
+//
+//     (320, 27)  (310, 45)  (357, 32)  (392, 35)  (190, 41)
+//
+// The deterministic rule would walk the (392, 35) input (highest mean). The
+// statistical tournament (dominance tests + finite-difference variance
+// sensitivities with coupled sigma steps) must rank inputs by their
+// *contribution to output variance* — in particular the fat (310, 45) branch
+// outranks the nominally-later (320, 27) one.
+#include <cstdio>
+#include <vector>
+
+#include "fassta/clark.h"
+#include "opt/wnss.h"
+#include "util/table.h"
+
+using namespace statsizer;
+
+int main() {
+  struct Input {
+    const char* name;
+    sta::NodeMoments m;
+  };
+  const std::vector<Input> inputs = {
+      {"A (320, 27)", {320.0, 27.0}}, {"B (310, 45)", {310.0, 45.0}},
+      {"C (357, 32)", {357.0, 32.0}}, {"D (392, 35)", {392.0, 35.0}},
+      {"E (190, 41)", {190.0, 41.0}},
+  };
+  // The paper couples sigma to mean movements with the same coefficient used
+  // in the variation model; Fig. 3's values have sigma/mu ~ 0.1.
+  const double c = 0.1;
+  const opt::WnssOptions options;
+
+  std::printf("Figure 3 — WNSS input ranking at node X\n\n");
+
+  // Pairwise tournament exactly as the tracer runs it.
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    const bool keep =
+        opt::more_responsible(inputs[winner].m, inputs[i].m, c, c, options);
+    std::printf("  compare %-12s vs %-12s -> %s\n", inputs[winner].name,
+                inputs[i].name, keep ? inputs[winner].name : inputs[i].name);
+    if (!keep) winner = i;
+  }
+  std::printf("\nWNSS input at X: %s\n", inputs[winner].name);
+
+  // The paper's headline pair: the fat, lower-mean input must outrank the
+  // thin, higher-mean one.
+  const bool fat_wins =
+      opt::more_responsible(inputs[1].m, inputs[0].m, c, c, options);
+  std::printf("fat (310,45) vs thin (320,27): %s\n",
+              fat_wins ? "fat branch more responsible (matches paper)"
+                       : "thin branch picked — MISMATCH");
+
+  // Show the sensitivity numbers behind one comparison.
+  util::Table t({"input pair", "dVar/dmu (left)", "dVar/dmu (right)", "dominance"});
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+      const auto& a = inputs[i].m;
+      const auto& b = inputs[j].m;
+      const int dom = fassta::dominance(a.mean_ps, a.sigma_ps, b.mean_ps, b.sigma_ps);
+      const double sa = fassta::max_var_sensitivity_mu_a(
+          a.mean_ps, a.sigma_ps, b.mean_ps, b.sigma_ps, options.fd_step_fraction, c);
+      const double sb = fassta::max_var_sensitivity_mu_a(
+          b.mean_ps, b.sigma_ps, a.mean_ps, a.sigma_ps, options.fd_step_fraction, c);
+      t.add_row({std::string(inputs[i].name) + " / " + inputs[j].name,
+                 util::fmt(sa, 2), util::fmt(sb, 2),
+                 dom > 0 ? "left" : (dom < 0 ? "right" : "none")});
+    }
+  }
+  std::printf("\n%s\n", t.to_string().c_str());
+  return fat_wins ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// P1 — engine throughput microbenchmarks (google-benchmark): how much
+// cheaper is FASSTA than FULLSSTA and Monte Carlo on real workloads. These
+// ratios justify the paper's two-engine nesting.
+#include <benchmark/benchmark.h>
+
+#include "core/flow.h"
+#include "fassta/engine.h"
+#include "ssta/canonical.h"
+#include "ssta/fullssta.h"
+#include "ssta/monte_carlo.h"
+
+namespace {
+
+using namespace statsizer;
+
+/// Shared fixture: a baselined Table-1 workload per circuit name.
+core::Flow& flow_for(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<core::Flow>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    auto flow = std::make_unique<core::Flow>();
+    if (const Status s = flow->load_table1(name); !s.ok()) {
+      throw std::runtime_error(s.message());
+    }
+    (void)flow->run_baseline();
+    it = cache.emplace(name, std::move(flow)).first;
+  }
+  return *it->second;
+}
+
+void BM_Fassta(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  const fassta::Engine engine(flow.timing());
+  for (auto _ : state) {
+    sta::NodeMoments m;
+    benchmark::DoNotOptimize(engine.run(&m));
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetLabel(std::to_string(flow.netlist().logic_gate_count()) + " gates");
+}
+
+void BM_FasstaCandidate(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  const fassta::Engine engine(flow.timing());
+  // Representative inner-loop call: re-scoring one candidate size.
+  const auto g = flow.netlist().outputs()[0].driver;
+  const auto& cell = flow.timing().cell(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_with_candidate(g, cell));
+  }
+}
+
+void BM_Fullssta(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssta::run_fullssta(flow.timing()));
+  }
+}
+
+void BM_Canonical(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssta::run_canonical(flow.timing()));
+  }
+}
+
+void BM_MonteCarlo1k(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  ssta::MonteCarloOptions opt;
+  opt.samples = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssta::run_monte_carlo(flow.timing(), opt));
+  }
+}
+
+void BM_TimingUpdate(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  for (auto _ : state) {
+    flow.timing().update();
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fassta, alu2, std::string("alu2"));
+BENCHMARK_CAPTURE(BM_Fassta, c880, std::string("c880"));
+BENCHMARK_CAPTURE(BM_FasstaCandidate, c880, std::string("c880"));
+BENCHMARK_CAPTURE(BM_Fullssta, alu2, std::string("alu2"));
+BENCHMARK_CAPTURE(BM_Fullssta, c880, std::string("c880"));
+BENCHMARK_CAPTURE(BM_Canonical, c880, std::string("c880"));
+BENCHMARK_CAPTURE(BM_MonteCarlo1k, c880, std::string("c880"));
+BENCHMARK_CAPTURE(BM_TimingUpdate, c880, std::string("c880"));
+
+BENCHMARK_MAIN();

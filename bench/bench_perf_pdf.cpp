@@ -1,0 +1,57 @@
+// P2 — discrete-pdf operation microbenchmarks (google-benchmark): the cost
+// of FULLSSTA's primitive sum/max at the paper's sampling rates.
+#include <benchmark/benchmark.h>
+
+#include "pdf/discrete_pdf.h"
+
+namespace {
+
+using statsizer::pdf::DiscretePdf;
+
+void BM_NormalDiscretize(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscretePdf::normal(100.0, 10.0, samples));
+  }
+}
+BENCHMARK(BM_NormalDiscretize)->Arg(10)->Arg(13)->Arg(15)->Arg(25);
+
+void BM_Sum(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const DiscretePdf a = DiscretePdf::normal(100.0, 10.0, samples);
+  const DiscretePdf b = DiscretePdf::normal(40.0, 6.0, samples);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sum(a, b, samples));
+  }
+}
+BENCHMARK(BM_Sum)->Arg(10)->Arg(13)->Arg(15)->Arg(25);
+
+void BM_Max(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const DiscretePdf a = DiscretePdf::normal(100.0, 10.0, samples);
+  const DiscretePdf b = DiscretePdf::normal(98.0, 12.0, samples);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max(a, b, samples));
+  }
+}
+BENCHMARK(BM_Max)->Arg(10)->Arg(13)->Arg(15)->Arg(25);
+
+void BM_Resample(benchmark::State& state) {
+  const DiscretePdf a = DiscretePdf::normal(100.0, 10.0, 41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.resampled(13));
+  }
+}
+BENCHMARK(BM_Resample);
+
+void BM_Quantile(benchmark::State& state) {
+  const DiscretePdf a = DiscretePdf::normal(100.0, 10.0, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.quantile(0.99));
+  }
+}
+BENCHMARK(BM_Quantile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,214 @@
+#include "bench_format/bench_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace statsizer::bench_format {
+
+using netlist::GateFunc;
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+struct GateDef {
+  GateFunc func;
+  std::vector<std::string> fanins;
+  int line;
+};
+
+StatusOr<GateFunc> func_from_name(const std::string& raw, int line) {
+  const std::string f = upper(raw);
+  if (f == "AND") return GateFunc::kAnd;
+  if (f == "NAND") return GateFunc::kNand;
+  if (f == "OR") return GateFunc::kOr;
+  if (f == "NOR") return GateFunc::kNor;
+  if (f == "XOR") return GateFunc::kXor;
+  if (f == "NXOR" || f == "XNOR") return GateFunc::kXnor;
+  if (f == "NOT" || f == "INV") return GateFunc::kInv;
+  if (f == "BUF" || f == "BUFF") return GateFunc::kBuf;
+  if (f == "DFF") {
+    return Status::error("line " + std::to_string(line) +
+                         ": DFF is not supported (combinational netlists only)");
+  }
+  return Status::error("line " + std::to_string(line) + ": unknown function '" + raw + "'");
+}
+
+}  // namespace
+
+StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
+  std::vector<std::string> input_names;
+  std::vector<std::pair<std::string, int>> output_names;  // name, line
+  std::unordered_map<std::string, GateDef> defs;
+  std::vector<std::string> def_order;
+
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    std::string line = trim(raw_line);
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    const std::string uline = upper(line);
+    if (uline.rfind("INPUT", 0) == 0 || uline.rfind("OUTPUT", 0) == 0) {
+      const bool is_input = uline.rfind("INPUT", 0) == 0;
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close <= open) {
+        return Status::error("line " + std::to_string(line_no) + ": malformed port: " + line);
+      }
+      const std::string port = trim(std::string_view(line).substr(open + 1, close - open - 1));
+      if (port.empty()) {
+        return Status::error("line " + std::to_string(line_no) + ": empty port name");
+      }
+      if (is_input) {
+        input_names.push_back(port);
+      } else {
+        output_names.emplace_back(port, line_no);
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::error("line " + std::to_string(line_no) + ": expected assignment: " + line);
+    }
+    const std::string target = trim(std::string_view(line).substr(0, eq));
+    const std::string rhs = trim(std::string_view(line).substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close <= open) {
+      return Status::error("line " + std::to_string(line_no) + ": malformed gate: " + line);
+    }
+    auto func = func_from_name(trim(std::string_view(rhs).substr(0, open)), line_no);
+    if (!func.ok()) return func.status();
+
+    GateDef def;
+    def.func = *func;
+    def.line = line_no;
+    std::string args(rhs.substr(open + 1, close - open - 1));
+    std::size_t pos = 0;
+    while (pos < args.size()) {
+      auto comma = args.find(',', pos);
+      if (comma == std::string::npos) comma = args.size();
+      const std::string arg = trim(std::string_view(args).substr(pos, comma - pos));
+      if (!arg.empty()) def.fanins.push_back(arg);
+      pos = comma + 1;
+    }
+    if (def.fanins.empty()) {
+      return Status::error("line " + std::to_string(line_no) + ": gate with no fanins");
+    }
+    if (defs.contains(target)) {
+      return Status::error("line " + std::to_string(line_no) + ": signal '" + target +
+                           "' defined twice");
+    }
+    defs.emplace(target, std::move(def));
+    def_order.push_back(target);
+  }
+
+  Netlist nl(std::move(name));
+  std::unordered_map<std::string, GateId> ids;
+  for (const std::string& in : input_names) {
+    if (ids.contains(in)) return Status::error("input '" + in + "' declared twice");
+    if (defs.contains(in)) {
+      return Status::error("signal '" + in + "' is both an INPUT and a gate output");
+    }
+    ids.emplace(in, nl.add_input(in));
+  }
+
+  // Resolve definitions depth-first; state 1 = on stack (cycle detection).
+  std::unordered_map<std::string, int> state;
+  Status failure;
+  const std::function<GateId(const std::string&)> resolve =
+      [&](const std::string& signal) -> GateId {
+    if (const auto it = ids.find(signal); it != ids.end()) return it->second;
+    const auto def_it = defs.find(signal);
+    if (def_it == defs.end()) {
+      if (failure.ok()) failure = Status::error("undefined signal '" + signal + "'");
+      return netlist::kNoGate;
+    }
+    if (state[signal] == 1) {
+      if (failure.ok()) {
+        failure = Status::error("combinational cycle through signal '" + signal + "'");
+      }
+      return netlist::kNoGate;
+    }
+    state[signal] = 1;
+    std::vector<GateId> fanins;
+    fanins.reserve(def_it->second.fanins.size());
+    for (const std::string& f : def_it->second.fanins) {
+      const GateId fid = resolve(f);
+      if (fid == netlist::kNoGate) return netlist::kNoGate;
+      fanins.push_back(fid);
+    }
+    state[signal] = 2;
+    GateFunc func = def_it->second.func;
+    // .bench allows 1-input AND/OR (identity): normalize to BUF.
+    if (fanins.size() == 1 &&
+        (func == GateFunc::kAnd || func == GateFunc::kOr)) {
+      func = GateFunc::kBuf;
+    }
+    if (fanins.size() == 1 && (func == GateFunc::kNand || func == GateFunc::kNor)) {
+      func = GateFunc::kInv;
+    }
+    const GateId id = nl.add_gate(func, fanins, signal);
+    ids.emplace(signal, id);
+    return id;
+  };
+
+  for (const std::string& signal : def_order) {
+    resolve(signal);
+    if (!failure.ok()) return failure;
+  }
+  for (const auto& [out, line] : output_names) {
+    const GateId id = resolve(out);
+    if (!failure.ok()) return failure;
+    if (id == netlist::kNoGate) {
+      return Status::error("line " + std::to_string(line) + ": undefined output '" + out + "'");
+    }
+    nl.add_output(out, id);
+  }
+
+  if (const Status s = nl.check(); !s.ok()) return s;
+  return nl;
+}
+
+StatusOr<Netlist> read_bench_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return read_bench(buffer.str(), name);
+}
+
+}  // namespace statsizer::bench_format

@@ -1,0 +1,29 @@
+// Reader for the ISCAS-85/89 ".bench" netlist format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G23)
+//   G10 = NAND(G1, G3)
+//   G11 = NOT(G10)
+//
+// Supported functions: AND, NAND, OR, NOR, XOR, NXOR/XNOR, NOT, BUF/BUFF.
+// DFFs are rejected (this library models combinational timing only).
+// Definitions may appear in any order; the reader resolves dependencies and
+// reports undefined signals and combinational cycles with line numbers.
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.h"
+#include "util/status.h"
+
+namespace statsizer::bench_format {
+
+/// Parses .bench text into a netlist. @p name names the resulting netlist.
+[[nodiscard]] StatusOr<netlist::Netlist> read_bench(std::string_view text,
+                                                    std::string name = "bench");
+
+/// Reads a .bench file from disk.
+[[nodiscard]] StatusOr<netlist::Netlist> read_bench_file(const std::string& path);
+
+}  // namespace statsizer::bench_format

@@ -1,0 +1,127 @@
+#include "bench_format/bench_writer.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "netlist/topo.h"
+
+namespace statsizer::bench_format {
+
+using netlist::GateFunc;
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+std::string bench_func_name(GateFunc f) {
+  switch (f) {
+    case GateFunc::kAnd: return "AND";
+    case GateFunc::kNand: return "NAND";
+    case GateFunc::kOr: return "OR";
+    case GateFunc::kNor: return "NOR";
+    case GateFunc::kXor: return "XOR";
+    case GateFunc::kXnor: return "XNOR";
+    case GateFunc::kInv: return "NOT";
+    case GateFunc::kBuf: return "BUFF";
+    default: return "";
+  }
+}
+
+void emit_gate(std::ostringstream& os, const std::string& target, const std::string& func,
+               const std::vector<std::string>& args) {
+  os << target << " = " << func << "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << args[i];
+  }
+  os << ")\n";
+}
+
+}  // namespace
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream os;
+  os << "# " << nl.name() << " — written by statsizer\n";
+  os << "# " << nl.inputs().size() << " inputs, " << nl.outputs().size() << " outputs, "
+     << nl.logic_gate_count() << " gates\n";
+  for (const GateId id : nl.inputs()) os << "INPUT(" << nl.gate(id).name << ")\n";
+
+  // .bench has no separate output names — outputs are named signals. When a
+  // PO name differs from its driver's name, alias it through a BUFF so the
+  // interface survives a round trip. A name collision with an unrelated
+  // signal forces falling back to the driver's name.
+  std::vector<std::pair<std::string, GateId>> aliases;  // alias name -> driver
+  for (const auto& out : nl.outputs()) {
+    std::string name = out.name;
+    if (name != nl.gate(out.driver).name) {
+      const GateId clash = nl.find(name);
+      if (clash != netlist::kNoGate && clash != out.driver) {
+        name = nl.gate(out.driver).name;  // collision: keep the driver name
+      } else {
+        aliases.emplace_back(name, out.driver);
+      }
+    }
+    os << "OUTPUT(" << name << ")\n";
+  }
+  os << "\n";
+  for (const auto& [name, driver] : aliases) {
+    emit_gate(os, name, "BUFF", {nl.gate(driver).name});
+  }
+
+  for (const GateId id : netlist::topological_order(nl)) {
+    const auto& g = nl.gate(id);
+    if (g.func == GateFunc::kInput) continue;
+    std::vector<std::string> args;
+    args.reserve(g.fanins.size());
+    for (const GateId f : g.fanins) args.push_back(nl.gate(f).name);
+
+    switch (g.func) {
+      case GateFunc::kConst0:
+        // .bench has no constants; encode as XOR(x, x) over an arbitrary input.
+        emit_gate(os, g.name, "XOR",
+                  {nl.gate(nl.inputs()[0]).name, nl.gate(nl.inputs()[0]).name});
+        break;
+      case GateFunc::kConst1:
+        emit_gate(os, g.name, "XNOR",
+                  {nl.gate(nl.inputs()[0]).name, nl.gate(nl.inputs()[0]).name});
+        break;
+      case GateFunc::kAoi21: {
+        // !(a&b | c) -> t = AND(a,b); z = NOR(t, c)
+        const std::string t = g.name + "_and";
+        emit_gate(os, t, "AND", {args[0], args[1]});
+        emit_gate(os, g.name, "NOR", {t, args[2]});
+        break;
+      }
+      case GateFunc::kOai21: {
+        const std::string t = g.name + "_or";
+        emit_gate(os, t, "OR", {args[0], args[1]});
+        emit_gate(os, g.name, "NAND", {t, args[2]});
+        break;
+      }
+      case GateFunc::kMux2: {
+        // (d0 & !s) | (d1 & s)
+        const std::string ns = g.name + "_ns";
+        const std::string t0 = g.name + "_t0";
+        const std::string t1 = g.name + "_t1";
+        emit_gate(os, ns, "NOT", {args[2]});
+        emit_gate(os, t0, "AND", {args[0], ns});
+        emit_gate(os, t1, "AND", {args[1], args[2]});
+        emit_gate(os, g.name, "OR", {t0, t1});
+        break;
+      }
+      default:
+        emit_gate(os, g.name, bench_func_name(g.func), args);
+        break;
+    }
+  }
+  return os.str();
+}
+
+Status write_bench_file(const Netlist& nl, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::error("cannot open " + path + " for writing");
+  file << write_bench(nl);
+  return file.good() ? Status() : Status::error("write failed: " + path);
+}
+
+}  // namespace statsizer::bench_format

@@ -1,0 +1,19 @@
+// Writer for the ISCAS ".bench" format. Only pre-mapping netlists (pure
+// AND/OR/... functions) can be represented; AOI/OAI/MUX gates are expanded
+// into equivalent primitive trees on the fly so any netlist can be dumped.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+#include "util/status.h"
+
+namespace statsizer::bench_format {
+
+/// Serializes the netlist as .bench text (parse-compatible with read_bench).
+[[nodiscard]] std::string write_bench(const netlist::Netlist& nl);
+
+/// Writes .bench text to a file.
+[[nodiscard]] Status write_bench_file(const netlist::Netlist& nl, const std::string& path);
+
+}  // namespace statsizer::bench_format

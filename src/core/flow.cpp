@@ -1,0 +1,145 @@
+#include "core/flow.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "bench_format/bench_reader.h"
+#include "circuits/iscas_suite.h"
+
+namespace statsizer::core {
+
+Flow::Flow(FlowOptions options)
+    : options_(std::move(options)),
+      library_(liberty::build_synthetic_90nm(options_.library)),
+      variation_(options_.variation) {}
+
+Status Flow::load_circuit(netlist::Netlist nl) {
+  if (const Status s = nl.check(); !s.ok()) return s;
+  auto owned = std::make_unique<netlist::Netlist>(std::move(nl));
+  if (const Status s = techmap::map_to_library(*owned, library_, options_.mapping); !s.ok()) {
+    return s;
+  }
+  netlist_ = std::move(owned);
+  context_ = std::make_unique<sta::TimingContext>(*netlist_, library_, variation_,
+                                                  options_.timing);
+  return Status();
+}
+
+Status Flow::load_table1(std::string_view name) {
+  try {
+    return load_circuit(circuits::make_table1_circuit(name));
+  } catch (const std::invalid_argument& e) {
+    return Status::error(e.what());
+  }
+}
+
+Status Flow::load_bench_file(const std::string& path) {
+  auto parsed = bench_format::read_bench_file(path);
+  if (!parsed.ok()) return parsed.status();
+  return load_circuit(std::move(parsed.value()));
+}
+
+opt::DeterministicSizerStats Flow::run_baseline() {
+  if (!has_circuit()) throw std::logic_error("Flow::run_baseline: no circuit loaded");
+  // The paper's "original" is a circuit "obtained by optimizing ... with a
+  // goal of minimizing the mean of the longest delay". Three stages:
+  // load-balanced initial sizing (what synthesis emits), TILOS-style
+  // critical-path sizing, then the statistical machinery at lambda = 0 —
+  // pure mean optimization — until no further improvement.
+  (void)opt::apply_initial_sizing(*context_, options_.initial_sizing);
+  const opt::DeterministicSizerStats tilos =
+      opt::size_for_mean_delay(*context_, options_.baseline);
+
+  opt::StatisticalSizerOptions polish;
+  polish.objective.lambda = 0.0;
+  // Bounded effort on large circuits: the polish exists to put the baseline
+  // at its E[max] optimum, and diminishing returns set in well before the
+  // default cap on multi-thousand-gate netlists.
+  polish.max_iterations = netlist_->logic_gate_count() > 1500 ? 50 : 150;
+  polish.fullssta = options_.fullssta;
+  (void)opt::size_statistically(*context_, polish);
+
+  // Constrained-mode area recovery (paper section 2.1: "delay ... is
+  // optimized first then area is recovered as far as possible without
+  // violating a delay constraint"). This is what leaves off-critical gates
+  // small — and why the mean-optimized circuit has the widest spread.
+  opt::AreaRecoveryOptions recovery;
+  recovery.criterion = options_.recovery_criterion;
+  recovery.tolerance = options_.recovery_tolerance;
+  recovery.objective.lambda = 0.0;
+  (void)opt::recover_area(*context_, recovery);
+
+  // Short re-polish so the baseline sits at (not merely near) its E[max]
+  // optimum: the statistical runs should pay mean for variance, not find
+  // leftover mean wins.
+  if (options_.post_recovery_polish_iterations > 0) {
+    polish.max_iterations = options_.post_recovery_polish_iterations;
+    (void)opt::size_statistically(*context_, polish);
+  }
+  return tilos;
+}
+
+OptimizationRecord Flow::optimize(double lambda,
+                                  const opt::StatisticalSizerOptions* overrides) {
+  if (!has_circuit()) throw std::logic_error("Flow::optimize: no circuit loaded");
+
+  opt::StatisticalSizerOptions sizer = overrides != nullptr ? *overrides
+                                                            : opt::StatisticalSizerOptions{};
+  sizer.objective.lambda = lambda;
+  sizer.fullssta = options_.fullssta;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  opt::StatisticalSizerStats stats = opt::size_statistically(*context_, sizer);
+
+  // Constrained-mode cleanup: the optimizer's coordinated moves (population
+  // bumps) oversize gates whose contribution to the achieved objective is
+  // marginal; recover that area without giving the objective back.
+  opt::AreaRecoveryOptions recovery;
+  recovery.criterion = opt::RecoveryCriterion::kStatisticalCost;
+  recovery.objective = sizer.objective;
+  recovery.tolerance = 0.002;
+  (void)opt::recover_area(*context_, recovery);
+  {
+    const ssta::FullSstaResult final_full = ssta::run_fullssta(*context_, options_.fullssta);
+    stats.final_.mean_ps = final_full.mean_ps;
+    stats.final_.sigma_ps = final_full.sigma_ps;
+    stats.final_.area_um2 = context_->area_um2();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  OptimizationRecord rec;
+  rec.lambda = lambda;
+  rec.before = stats.initial;
+  rec.after = stats.final_;
+  rec.mean_change = stats.initial.mean_ps > 0.0
+                        ? stats.final_.mean_ps / stats.initial.mean_ps - 1.0
+                        : 0.0;
+  rec.sigma_change = stats.initial.sigma_ps > 0.0
+                         ? stats.final_.sigma_ps / stats.initial.sigma_ps - 1.0
+                         : 0.0;
+  rec.area_change = stats.initial.area_um2 > 0.0
+                        ? stats.final_.area_um2 / stats.initial.area_um2 - 1.0
+                        : 0.0;
+  rec.iterations = stats.iterations;
+  rec.resizes = stats.resizes;
+  rec.runtime_seconds = std::chrono::duration<double>(t1 - t0).count();
+  rec.output_pdf = full_analysis().output_pdf;
+  return rec;
+}
+
+opt::CircuitStats Flow::analyze() const {
+  if (!has_circuit()) throw std::logic_error("Flow::analyze: no circuit loaded");
+  const ssta::FullSstaResult full = ssta::run_fullssta(*context_, options_.fullssta);
+  opt::CircuitStats s;
+  s.mean_ps = full.mean_ps;
+  s.sigma_ps = full.sigma_ps;
+  s.area_um2 = context_->area_um2();
+  return s;
+}
+
+ssta::FullSstaResult Flow::full_analysis() const {
+  if (!has_circuit()) throw std::logic_error("Flow::full_analysis: no circuit loaded");
+  return ssta::run_fullssta(*context_, options_.fullssta);
+}
+
+}  // namespace statsizer::core

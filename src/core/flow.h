@@ -1,0 +1,112 @@
+// Flow — the library's front door. Wires together the whole stack
+// (synthetic library or parsed Liberty, circuit generation or .bench input,
+// technology mapping, variation model, baseline mean-delay sizing,
+// StatisticalGreedy optimization, reporting) behind a handful of calls:
+//
+//   core::Flow flow;
+//   flow.load_table1("c432");
+//   flow.run_baseline();                       // the paper's "original" point
+//   auto rec = flow.optimize(/*lambda=*/3.0);  // StatisticalGreedy
+//   std::cout << rec.sigma_reduction;          // ~ -0.5 .. -0.8
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "liberty/model.h"
+#include "liberty/synthetic.h"
+#include "netlist/netlist.h"
+#include "opt/area_recovery.h"
+#include "opt/initial_sizing.h"
+#include "opt/objective.h"
+#include "opt/sizer_deterministic.h"
+#include "opt/sizer_statistical.h"
+#include "pdf/discrete_pdf.h"
+#include "sta/graph.h"
+#include "ssta/fullssta.h"
+#include "techmap/mapper.h"
+#include "util/status.h"
+#include "variation/model.h"
+
+namespace statsizer::core {
+
+struct FlowOptions {
+  liberty::SyntheticOptions library;
+  variation::VariationParams variation;
+  sta::TimingOptions timing;
+  techmap::MapOptions mapping;
+  opt::InitialSizingOptions initial_sizing;
+  opt::DeterministicSizerOptions baseline;
+  ssta::FullSstaOptions fullssta;
+  /// Baseline shaping: how constrained-mode area recovery guards timing, its
+  /// tolerance, and how many lambda = 0 polish iterations run after recovery
+  /// to leave the "original" circuit near its mean-delay optimum (the paper's
+  /// premise; without it the lambda runs would harvest mean instead of
+  /// variance).
+  opt::RecoveryCriterion recovery_criterion = opt::RecoveryCriterion::kDeterministicArrival;
+  double recovery_tolerance = 0.003;
+  std::size_t post_recovery_polish_iterations = 20;
+};
+
+/// Everything one statistical optimization run produced.
+struct OptimizationRecord {
+  double lambda = 0.0;
+  opt::CircuitStats before;
+  opt::CircuitStats after;
+  /// Relative changes (fractions; sigma_change is typically negative).
+  double mean_change = 0.0;
+  double sigma_change = 0.0;
+  double area_change = 0.0;
+  std::size_t iterations = 0;
+  std::size_t resizes = 0;
+  double runtime_seconds = 0.0;
+  /// Output-delay pdf after optimization (Fig. 1 material).
+  pdf::DiscretePdf output_pdf;
+};
+
+class Flow {
+ public:
+  explicit Flow(FlowOptions options = {});
+
+  // -- circuit loading (each call replaces the current circuit) --------------
+  /// Maps and adopts an externally built netlist.
+  [[nodiscard]] Status load_circuit(netlist::Netlist nl);
+  /// Generates one of the 13 Table-1 workloads.
+  [[nodiscard]] Status load_table1(std::string_view name);
+  /// Reads an ISCAS .bench file.
+  [[nodiscard]] Status load_bench_file(const std::string& path);
+
+  // -- optimization -----------------------------------------------------------
+  /// Deterministic mean-delay sizing: establishes the paper's "original"
+  /// operating point. Precondition: a circuit is loaded.
+  opt::DeterministicSizerStats run_baseline();
+
+  /// StatisticalGreedy at the given lambda, measured against the state at
+  /// call time. @p overrides tweaks the sizer beyond the lambda (optional).
+  OptimizationRecord optimize(double lambda,
+                              const opt::StatisticalSizerOptions* overrides = nullptr);
+
+  // -- analysis ----------------------------------------------------------------
+  /// FULLSSTA-based summary of the current state.
+  [[nodiscard]] opt::CircuitStats analyze() const;
+  /// Full FULLSSTA result (pdfs, per-node moments).
+  [[nodiscard]] ssta::FullSstaResult full_analysis() const;
+
+  // -- access -------------------------------------------------------------------
+  [[nodiscard]] bool has_circuit() const { return netlist_ != nullptr; }
+  [[nodiscard]] const netlist::Netlist& netlist() const { return *netlist_; }
+  [[nodiscard]] const liberty::Library& library() const { return library_; }
+  [[nodiscard]] sta::TimingContext& timing() { return *context_; }
+  [[nodiscard]] const FlowOptions& options() const { return options_; }
+
+ private:
+  FlowOptions options_;
+  liberty::Library library_;
+  variation::VariationModel variation_;
+  std::unique_ptr<netlist::Netlist> netlist_;       // stable address for context_
+  std::unique_ptr<sta::TimingContext> context_;
+};
+
+}  // namespace statsizer::core

@@ -1,0 +1,212 @@
+#include "fassta/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fassta/clark.h"
+
+namespace statsizer::fassta {
+
+using netlist::GateId;
+using sta::NodeMoments;
+
+Engine::Engine(const sta::TimingContext& ctx, EngineOptions options)
+    : ctx_(ctx), options_(options) {}
+
+NodeMoments Engine::stat_max(const NodeMoments& a, const NodeMoments& b) const {
+  if (options_.max_mode == MaxMode::kFast) {
+    // Dominance early-outs with the configured threshold (2.6 in the paper —
+    // the point where the quadratic erf approximation saturates).
+    const int dom = dominance(a.mean_ps, a.sigma_ps, b.mean_ps, b.sigma_ps,
+                              options_.dominance_threshold);
+    if (dom > 0) return a;
+    if (dom < 0) return b;
+    const ClarkResult r = clark_max_fast(a.mean_ps, a.sigma_ps, b.mean_ps, b.sigma_ps);
+    return NodeMoments{r.mean, std::sqrt(r.var)};
+  }
+  const ClarkResult r = clark_max_exact(a.mean_ps, a.sigma_ps, b.mean_ps, b.sigma_ps);
+  return NodeMoments{r.mean, std::sqrt(r.var)};
+}
+
+std::vector<NodeMoments> Engine::run(NodeMoments* circuit) const {
+  const auto& nl = ctx_.netlist();
+  std::vector<NodeMoments> arrival(nl.node_count());
+
+  for (const GateId id : ctx_.topo_order()) {
+    const auto& g = nl.gate(id);
+    if (g.fanins.empty()) continue;  // PI/constant: arrival (0, 0)
+    NodeMoments acc;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      const NodeMoments& in = arrival[g.fanins[i]];
+      const double d = ctx_.arc_delay_ps(id, i);
+      const double s = ctx_.arc_sigma_ps(id, i);
+      const NodeMoments through{in.mean_ps + d,
+                                std::sqrt(in.sigma_ps * in.sigma_ps + s * s)};
+      acc = (i == 0) ? through : stat_max(acc, through);
+    }
+    arrival[id] = acc;
+  }
+
+  if (circuit != nullptr) {
+    NodeMoments out{0.0, 0.0};
+    bool first = true;
+    for (const auto& po : nl.outputs()) {
+      out = first ? arrival[po.driver] : stat_max(out, arrival[po.driver]);
+      first = false;
+    }
+    *circuit = out;
+  }
+  return arrival;
+}
+
+sta::NodeMoments Engine::run_with_candidate(GateId center,
+                                            const liberty::Cell& candidate) const {
+  const auto& nl = ctx_.netlist();
+  std::vector<NodeMoments> arrival(nl.node_count());
+
+  for (const GateId id : ctx_.topo_order()) {
+    const auto& g = nl.gate(id);
+    if (g.fanins.empty()) continue;
+
+    const bool is_center = (id == center);
+    // Drivers of the center see a load delta; everything else is snapshot.
+    double load = ctx_.load_ff(id);
+    bool perturbed = is_center;
+    if (!is_center) {
+      const auto& outs = g.fanouts;
+      if (std::find(outs.begin(), outs.end(), center) != outs.end()) {
+        load = ctx_.load_ff_with_resize(id, center, candidate);
+        perturbed = (load != ctx_.load_ff(id));
+      }
+    }
+    const liberty::Cell* cell = nullptr;
+    if (perturbed) cell = is_center ? &candidate : &ctx_.cell(id);
+
+    NodeMoments acc;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      const NodeMoments& in = arrival[g.fanins[i]];
+      const double d =
+          perturbed ? ctx_.arc_delay_with(id, i, *cell, load) : ctx_.arc_delay_ps(id, i);
+      const double s =
+          perturbed ? ctx_.sigma_for(*cell, d) : ctx_.arc_sigma_ps(id, i);
+      const NodeMoments through{in.mean_ps + d,
+                                std::sqrt(in.sigma_ps * in.sigma_ps + s * s)};
+      acc = (i == 0) ? through : stat_max(acc, through);
+    }
+    arrival[id] = acc;
+  }
+
+  NodeMoments out{0.0, 0.0};
+  bool first = true;
+  for (const auto& po : nl.outputs()) {
+    out = first ? arrival[po.driver] : stat_max(out, arrival[po.driver]);
+    first = false;
+  }
+  return out;
+}
+
+std::vector<NodeMoments> Engine::compute_downstream() const {
+  const auto& nl = ctx_.netlist();
+  std::vector<NodeMoments> down(nl.node_count(), NodeMoments{0.0, 0.0});
+  std::vector<bool> seeded(nl.node_count(), false);
+  for (const auto& po : nl.outputs()) seeded[po.driver] = true;  // downstream = 0
+
+  const auto& order = ctx_.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId id = *it;
+    NodeMoments acc{};
+    bool first = !seeded[id];  // if a PO driver, the (0,0) observation competes
+    for (const GateId consumer : nl.gate(id).fanouts) {
+      const auto& cg = nl.gate(consumer);
+      for (std::size_t i = 0; i < cg.fanins.size(); ++i) {
+        if (cg.fanins[i] != id) continue;
+        const double d = ctx_.arc_delay_ps(consumer, i);
+        const double s = ctx_.arc_sigma_ps(consumer, i);
+        const NodeMoments& cd = down[consumer];
+        const NodeMoments through{cd.mean_ps + d,
+                                  std::sqrt(cd.sigma_ps * cd.sigma_ps + s * s)};
+        acc = first ? through : stat_max(acc, through);
+        first = false;
+      }
+    }
+    if (!first) down[id] = acc;  // seeded nodes started from the (0,0) observation
+  }
+  return down;
+}
+
+SubcircuitCost Engine::evaluate_candidate(const netlist::Subcircuit& sc,
+                                          std::span<const NodeMoments> boundary,
+                                          std::span<const NodeMoments> downstream,
+                                          GateId center, const liberty::Cell& candidate,
+                                          double lambda) const {
+  const auto& nl = ctx_.netlist();
+
+  // Local arrival moments for members only, indexed by position in sc.gates.
+  // A parallel map from GateId -> local index keeps lookups O(1).
+  std::vector<NodeMoments> local(sc.gates.size());
+  std::vector<std::uint32_t> local_index(nl.node_count(), UINT32_MAX);
+  for (std::uint32_t i = 0; i < sc.gates.size(); ++i) local_index[sc.gates[i]] = i;
+
+  const auto arrival_of = [&](GateId id) -> NodeMoments {
+    const std::uint32_t li = local_index[id];
+    if (li != UINT32_MAX) return local[li];
+    return boundary[id];
+  };
+
+  for (std::uint32_t gi = 0; gi < sc.gates.size(); ++gi) {
+    const GateId id = sc.gates[gi];
+    const auto& g = nl.gate(id);
+    const bool is_center = (id == center);
+    const liberty::Cell& cell = is_center ? candidate : ctx_.cell(id);
+
+    // Load: the only load perturbed by the candidate is on gates driving the
+    // center (its input pin caps change). The center's own load is untouched.
+    double load = ctx_.load_ff(id);
+    if (!is_center) {
+      const auto& outs = g.fanouts;
+      if (std::find(outs.begin(), outs.end(), center) != outs.end()) {
+        load = ctx_.load_ff_with_resize(id, center, candidate);
+      }
+    }
+
+    NodeMoments acc;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      const NodeMoments in = arrival_of(g.fanins[i]);
+      // Recompute the arc delay only where the candidate perturbs it; reuse
+      // the snapshot everywhere else (this is what makes FASSTA fast).
+      double d = 0.0;
+      if (is_center || load != ctx_.load_ff(id)) {
+        d = ctx_.arc_delay_with(id, i, cell, load);
+      } else {
+        d = ctx_.arc_delay_ps(id, i);
+      }
+      const double s = ctx_.sigma_for(cell, d);
+      const NodeMoments through{in.mean_ps + d,
+                                std::sqrt(in.sigma_ps * in.sigma_ps + s * s)};
+      acc = (i == 0) ? through : stat_max(acc, through);
+    }
+    local[gi] = acc;
+  }
+
+  SubcircuitCost result;
+  bool first = true;
+  for (const GateId out : sc.outputs) {
+    const NodeMoments m = local[local_index[out]];
+    // Project the window output to the primary outputs: local arrival plus
+    // the node's downstream potential (independent path segments => RSS).
+    const NodeMoments& d = downstream[out];
+    const double mean = m.mean_ps + d.mean_ps;
+    const double sigma =
+        std::sqrt(m.sigma_ps * m.sigma_ps + d.sigma_ps * d.sigma_ps);
+    const double cost = mean + lambda * sigma;
+    if (first || cost > result.cost) {
+      result.cost = cost;
+      result.worst_mean_ps = mean;
+      result.worst_sigma_ps = sigma;
+      first = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace statsizer::fassta

@@ -1,0 +1,89 @@
+// FASSTA — the fast moment-only statistical timing engine (paper section
+// 4.3). It propagates (mean, sigma) pairs instead of full pdfs:
+//   sum:  mu = mu_in + d_arc,  var = var_in + sigma_arc^2
+//   max:  Clark moments with dominance early-outs and the quadratic erf
+//         approximation (fassta/clark.h)
+// Boundary conditions at a subcircuit cut come from the most recent FULLSSTA
+// pass. The engine's whole reason to exist is evaluating candidate gate sizes
+// inside the optimizer's inner loop at negligible cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/subcircuit.h"
+#include "sta/graph.h"
+
+namespace statsizer::fassta {
+
+/// How max is folded over a gate's arcs.
+enum class MaxMode {
+  kFast,   ///< paper: dominance early-out + quadratic erf
+  kExact,  ///< Clark with std::erf (accuracy reference / ablations)
+};
+
+struct EngineOptions {
+  MaxMode max_mode = MaxMode::kFast;
+  double dominance_threshold = 2.6;  ///< |alpha| beyond which one input wins
+};
+
+/// Cost summary for a subcircuit under paper eq. 7:
+///   cost = max over outputs of (mu_i + lambda * sigma_i).
+struct SubcircuitCost {
+  double cost = 0.0;
+  double worst_mean_ps = 0.0;   ///< moments of the output attaining the max
+  double worst_sigma_ps = 0.0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const sta::TimingContext& ctx, EngineOptions options = {});
+
+  /// Statistical max of two Gaussian moment pairs under the engine's options.
+  [[nodiscard]] sta::NodeMoments stat_max(const sta::NodeMoments& a,
+                                          const sta::NodeMoments& b) const;
+
+  /// Full-netlist moment propagation (used standalone and in benchmarks).
+  /// Returns per-node arrival moments; @p circuit is filled with the moments
+  /// of the statistical max over all primary outputs if non-null.
+  [[nodiscard]] std::vector<sta::NodeMoments> run(sta::NodeMoments* circuit = nullptr) const;
+
+  /// Full-netlist moment propagation with gate @p center hypothetically bound
+  /// to @p candidate: loads of the center's drivers and the affected arc
+  /// delays are recomputed, everything else reuses the snapshot. Returns the
+  /// circuit moments (statistical max over primary outputs). This is the
+  /// robust inner-loop score: unlike a truncated window it sees the
+  /// max-over-all-paths behaviour of the objective (see DESIGN.md,
+  /// "window truncation"). Cost: one O(E) pass, a few microseconds per call.
+  [[nodiscard]] sta::NodeMoments run_with_candidate(netlist::GateId center,
+                                                    const liberty::Cell& candidate) const;
+
+  /// Backward moment pass: for every node, the statistical moments of the
+  /// worst downstream path from the node's *output* to any primary output
+  /// (0 for PO drivers' direct observation). Window outputs are scored as
+  /// local-arrival (+) downstream-potential, which makes costs of different
+  /// window outputs globally comparable — without this, a candidate that
+  /// slows a side path with deep downstream logic can look like a win inside
+  /// a truncated window (see DESIGN.md, "window truncation").
+  [[nodiscard]] std::vector<sta::NodeMoments> compute_downstream() const;
+
+  /// Evaluates paper eq. 7 over @p sc with gate @p center hypothetically
+  /// bound to @p candidate (pass the currently bound cell to score the status
+  /// quo). @p boundary are FULLSSTA's per-node arrival moments (subcircuit
+  /// members are recomputed, boundary nodes are read as-is); @p downstream
+  /// comes from compute_downstream() on the same snapshot.
+  [[nodiscard]] SubcircuitCost evaluate_candidate(const netlist::Subcircuit& sc,
+                                                  std::span<const sta::NodeMoments> boundary,
+                                                  std::span<const sta::NodeMoments> downstream,
+                                                  netlist::GateId center,
+                                                  const liberty::Cell& candidate,
+                                                  double lambda) const;
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+ private:
+  const sta::TimingContext& ctx_;
+  EngineOptions options_;
+};
+
+}  // namespace statsizer::fassta

@@ -1,0 +1,44 @@
+// Recursive-descent parser for the Liberty subset this library emits and
+// consumes: nested groups, simple attributes (`name : value ;`), complex
+// attributes (`name ("v1", "v2");`), block and line comments, and line
+// continuations. The parse happens in two layers:
+//   1. text -> generic AST (AstGroup tree), reusable for any Liberty-ish file;
+//   2. AST  -> liberty::Library (cells, pins, arcs, LUT templates).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "liberty/model.h"
+#include "util/status.h"
+
+namespace statsizer::liberty {
+
+/// Generic Liberty group: `type (args...) { attrs / complex attrs / children }`.
+struct AstGroup {
+  std::string type;
+  std::vector<std::string> args;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<std::pair<std::string, std::vector<std::string>>> complex_attrs;
+  std::vector<AstGroup> children;
+
+  /// First simple attribute with the given name, or empty view.
+  [[nodiscard]] std::string_view attr(std::string_view name) const;
+  /// First complex attribute with the given name, or nullptr.
+  [[nodiscard]] const std::vector<std::string>* complex_attr(std::string_view name) const;
+  /// First child group of the given type, or nullptr.
+  [[nodiscard]] const AstGroup* child(std::string_view wanted_type) const;
+};
+
+/// Parses Liberty text into its top-level group (normally `library`).
+[[nodiscard]] StatusOr<AstGroup> parse_ast(std::string_view text);
+
+/// Parses Liberty text into a finalized Library.
+[[nodiscard]] StatusOr<Library> parse_library(std::string_view text);
+
+/// Splits a Liberty numeric list string ("1.0, 2.0, 3.0") into doubles.
+[[nodiscard]] StatusOr<std::vector<double>> parse_number_list(std::string_view text);
+
+}  // namespace statsizer::liberty

@@ -1,0 +1,167 @@
+#include "liberty/synthetic.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace statsizer::liberty {
+
+namespace {
+
+/// Pin names for a family: INV/BUF use A; AOI/OAI use A1,A2,B; MUX2 uses
+/// D0,D1,S; everything else A1..An.
+std::vector<std::string> pin_names(const std::string& base, std::size_t arity) {
+  if (base == "INV" || base == "BUF") return {"A"};
+  if (base == "AOI21" || base == "OAI21") return {"A1", "A2", "B"};
+  if (base == "MUX2") return {"D0", "D1", "S"};
+  std::vector<std::string> names;
+  for (std::size_t i = 1; i <= arity; ++i) names.push_back("A" + std::to_string(i));
+  return names;
+}
+
+std::string function_string(const std::string& base, const std::vector<std::string>& pins) {
+  const auto join = [&](const char* op) {
+    std::string s;
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (i > 0) {
+        s += ' ';
+        s += op;
+        s += ' ';
+      }
+      s += pins[i];
+    }
+    return s;
+  };
+  if (base == "INV") return "!A";
+  if (base == "BUF") return "A";
+  if (base.rfind("NAND", 0) == 0) return "!(" + join("&") + ")";
+  if (base.rfind("NOR", 0) == 0) return "!(" + join("|") + ")";
+  if (base.rfind("AND", 0) == 0) return "(" + join("&") + ")";
+  if (base.rfind("OR", 0) == 0) return "(" + join("|") + ")";
+  if (base == "XOR2") return "(A1 ^ A2)";
+  if (base == "XNOR2") return "!(A1 ^ A2)";
+  if (base == "AOI21") return "!((A1 & A2) | B)";
+  if (base == "OAI21") return "!((A1 | A2) & B)";
+  if (base == "MUX2") return "((D0 & !S) | (D1 & S))";
+  throw std::logic_error("function_string: unknown base " + base);
+}
+
+std::string drive_suffix(double drive) {
+  char buf[32];
+  if (drive == static_cast<int>(drive)) {
+    std::snprintf(buf, sizeof buf, "_X%d", static_cast<int>(drive));
+  } else {
+    // 'P' as decimal point: X0P5.
+    std::snprintf(buf, sizeof buf, "_X%gP%d", std::floor(drive),
+                  static_cast<int>(std::round((drive - std::floor(drive)) * 10)));
+  }
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<CellSpec>& synthetic_cell_specs() {
+  // Logical efforts / parasitics follow the standard static-CMOS values
+  // (Logical Effort, table 4.1) with composite (AND/OR/BUF) families given
+  // the effort of their input stage and the summed parasitic of both stages.
+  static const std::vector<CellSpec> kSpecs = {
+      {"INV", {1.0}, 1.0, 2, false},
+      {"BUF", {1.0}, 2.6, 4, false},
+      {"NAND2", {4.0 / 3, 4.0 / 3}, 2.0, 4, false},
+      {"NAND3", {5.0 / 3, 5.0 / 3, 5.0 / 3}, 3.0, 6, false},
+      {"NAND4", {2.0, 2.0, 2.0, 2.0}, 4.0, 8, false},
+      {"NOR2", {5.0 / 3, 5.0 / 3}, 2.0, 4, false},
+      {"NOR3", {7.0 / 3, 7.0 / 3, 7.0 / 3}, 3.0, 6, false},
+      {"NOR4", {3.0, 3.0, 3.0, 3.0}, 4.0, 8, false},
+      {"AND2", {4.0 / 3, 4.0 / 3}, 3.2, 6, false},
+      {"AND3", {5.0 / 3, 5.0 / 3, 5.0 / 3}, 4.2, 8, true},
+      {"AND4", {2.0, 2.0, 2.0, 2.0}, 5.2, 10, true},
+      {"OR2", {5.0 / 3, 5.0 / 3}, 3.2, 6, false},
+      {"OR3", {7.0 / 3, 7.0 / 3, 7.0 / 3}, 4.2, 8, true},
+      {"OR4", {3.0, 3.0, 3.0, 3.0}, 5.2, 10, true},
+      {"XOR2", {4.0, 4.0}, 4.0, 10, true},
+      {"XNOR2", {4.0, 4.0}, 4.2, 10, true},
+      {"AOI21", {2.0, 2.0, 5.0 / 3}, 2.8, 6, true},
+      {"OAI21", {5.0 / 3, 5.0 / 3, 2.0}, 2.8, 6, true},
+      {"MUX2", {2.0, 2.0, 2.7}, 3.8, 12, true},
+  };
+  return kSpecs;
+}
+
+Library build_synthetic_90nm(const SyntheticOptions& options) {
+  Library lib("statsizer_synth90");
+
+  for (const CellSpec& spec : synthetic_cell_specs()) {
+    const std::vector<double>& drives =
+        spec.complex_cell ? options.complex_drives : options.simple_drives;
+    const std::vector<std::string> pins = pin_names(spec.base_name, spec.pin_efforts.size());
+    const bool inverting = spec.base_name == "INV" || spec.base_name.rfind("NAND", 0) == 0 ||
+                           spec.base_name.rfind("NOR", 0) == 0 || spec.base_name == "XNOR2" ||
+                           spec.base_name == "AOI21" || spec.base_name == "OAI21";
+
+    for (const double k : drives) {
+      Cell cell;
+      cell.name = spec.base_name + drive_suffix(k);
+      cell.drive = k;
+      cell.area_um2 = options.area_unit_um2 * spec.transistors * (0.5 + 0.5 * k);
+
+      for (std::size_t i = 0; i < pins.size(); ++i) {
+        Pin p;
+        p.name = pins[i];
+        p.direction = PinDirection::kInput;
+        p.capacitance_ff = options.c_unit_ff * spec.pin_efforts[i] * k;
+        cell.pins.push_back(std::move(p));
+      }
+
+      Pin out;
+      out.name = inverting ? "ZN" : "Z";
+      out.direction = PinDirection::kOutput;
+      out.function = function_string(spec.base_name, pins);
+      out.max_capacitance_ff = options.max_load_per_drive_ff * k;
+
+      // Load axis scales with drive so the table covers the loads this size
+      // will realistically see.
+      std::vector<double> load_axis = options.load_axis_x1_ff;
+      for (double& v : load_axis) v *= k;
+
+      for (const std::string& pin : pins) {
+        TimingArc arc;
+        arc.related_pin = pin;
+        const auto fill = [&](Lut& lut, double skew, bool transition) {
+          lut.index1 = options.slew_axis_ps;
+          lut.index2 = load_axis;
+          lut.values.reserve(lut.index1.size() * lut.index2.size());
+          for (const double slew : lut.index1) {
+            for (const double load : lut.index2) {
+              const double rc = (options.tau_ps / options.c_unit_ff) * load / k;
+              double v = 0.0;
+              if (!transition) {
+                v = options.tau_ps * spec.parasitic + rc +
+                    options.slew_sensitivity * slew +
+                    options.quadratic_load * (load / k) * (load / k);
+              } else {
+                v = 1.2 * options.tau_ps * spec.parasitic + options.slew_gain * rc +
+                    0.10 * slew;
+              }
+              lut.values.push_back(v * skew);
+            }
+          }
+        };
+        fill(arc.cell_rise, options.rise_skew, false);
+        fill(arc.cell_fall, options.fall_skew, false);
+        fill(arc.rise_transition, 1.08, true);
+        fill(arc.fall_transition, 0.92, true);
+        out.arcs.push_back(std::move(arc));
+      }
+      cell.pins.push_back(std::move(out));
+      lib.add_cell(std::move(cell));
+    }
+  }
+
+  if (const Status s = lib.finalize(); !s.ok()) {
+    throw std::logic_error("build_synthetic_90nm produced an invalid library: " + s.message());
+  }
+  return lib;
+}
+
+}  // namespace statsizer::liberty

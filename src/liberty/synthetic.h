@@ -1,0 +1,60 @@
+// Synthetic 90 nm standard-cell library.
+//
+// The paper sized circuits against "an industrial 90nm lookup-table based
+// standard cell library with 6-8 sizes per gate type" — not redistributable.
+// This generator builds a physically-plausible stand-in from logical-effort
+// parameters (Sutherland/Sproull/Harris):
+//
+//   delay(slew, load) = tau * p  +  (tau / c_unit) * load / drive
+//                       + slew_sensitivity * slew  (+ mild quadratic load term)
+//   input cap(pin)    = c_unit * g_pin * drive
+//   area              = base_area * (0.5 + 0.5 * drive)
+//
+// sampled onto 7x7 (slew x load) NLDM tables whose load axis scales with the
+// cell drive, exactly as production libraries do. What matters for sizing
+// experiments — delay falls and cap/area rise with drive, delay rises with
+// load — is real physics here, not curve fitting.
+#pragma once
+
+#include <vector>
+
+#include "liberty/model.h"
+
+namespace statsizer::liberty {
+
+/// Knobs for the generator (defaults model a mainstream 90 nm process).
+struct SyntheticOptions {
+  double tau_ps = 6.0;             ///< logical-effort time constant (FO4 ~= 5*tau)
+  double c_unit_ff = 1.8;          ///< input cap of a unit (X1) inverter
+  double slew_sensitivity = 0.15;  ///< d(delay)/d(input slew)
+  double slew_gain = 2.2;          ///< output-slew slope vs. R*C relative to delay slope
+  double quadratic_load = 0.002;   ///< mild nonlinearity: + q * (load/drive)^2 ps
+  double rise_skew = 1.05;         ///< cell_rise = skew * nominal
+  double fall_skew = 0.95;         ///< cell_fall = skew * nominal
+  double area_unit_um2 = 0.65;     ///< um^2 per transistor at X1
+  double max_load_per_drive_ff = 40.0;  ///< max_capacitance = this * drive
+  /// Drive strengths for simple, high-population cells (8 sizes)...
+  std::vector<double> simple_drives = {1, 2, 3, 4, 6, 8, 12, 16};
+  /// ...and for complex cells (6 sizes), matching the paper's "6-8 sizes".
+  std::vector<double> complex_drives = {1, 2, 3, 4, 6, 8};
+  /// NLDM axes: input slew points (ps) and X1 load points (fF; scaled by drive).
+  std::vector<double> slew_axis_ps = {5, 10, 20, 40, 80, 160, 320};
+  std::vector<double> load_axis_x1_ff = {0.5, 1, 2, 4, 8, 16, 32};
+};
+
+/// Builds the finalized synthetic library (19 cell groups, ~130 cells).
+[[nodiscard]] Library build_synthetic_90nm(const SyntheticOptions& options = {});
+
+/// Logical-effort description of one cell family, exposed for tests/ablations.
+struct CellSpec {
+  std::string base_name;           ///< e.g. "NAND2"
+  std::vector<double> pin_efforts; ///< logical effort g per input pin
+  double parasitic;                ///< parasitic delay p (in tau units)
+  int transistors;                 ///< area proxy
+  bool complex_cell;               ///< chooses the 6-size list over the 8-size list
+};
+
+/// The cell families the synthetic library instantiates.
+[[nodiscard]] const std::vector<CellSpec>& synthetic_cell_specs();
+
+}  // namespace statsizer::liberty

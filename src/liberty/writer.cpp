@@ -1,0 +1,97 @@
+#include "liberty/writer.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace statsizer::liberty {
+
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string number_list(const std::vector<double>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += num(xs[i]);
+  }
+  return out;
+}
+
+void write_lut(std::ostringstream& os, const char* kind, const Lut& lut, int indent) {
+  const std::string pad(indent, ' ');
+  os << pad << kind << " (lut) {\n";
+  if (!lut.index1.empty()) {
+    os << pad << "  index_1(\"" << number_list(lut.index1) << "\");\n";
+  }
+  if (!lut.index2.empty()) {
+    os << pad << "  index_2(\"" << number_list(lut.index2) << "\");\n";
+  }
+  os << pad << "  values(";
+  const std::size_t cols = lut.index2.empty() ? lut.values.size() : lut.index2.size();
+  const std::size_t rows = cols == 0 ? 1 : lut.values.size() / cols;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r > 0) os << ",\n" << pad << "         ";
+    os << '"';
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c > 0) os << ", ";
+      os << num(lut.values[r * cols + c]);
+    }
+    os << '"';
+  }
+  os << ");\n";
+  os << pad << "}\n";
+}
+
+}  // namespace
+
+std::string write_library(const Library& lib) {
+  std::ostringstream os;
+  os << "library (" << lib.name() << ") {\n";
+  os << "  /* statsizer synthetic-library writer; units: ps, fF, um^2 */\n";
+  os << "  time_unit : \"1ps\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  os << "  lu_table_template (lut) {\n";
+  os << "    variable_1 : input_net_transition;\n";
+  os << "    variable_2 : total_output_net_capacitance;\n";
+  os << "  }\n";
+
+  for (const Cell& cell : lib.cells()) {
+    os << "  cell (" << cell.name << ") {\n";
+    os << "    area : " << num(cell.area_um2) << ";\n";
+    for (const Pin& pin : cell.pins) {
+      os << "    pin (" << pin.name << ") {\n";
+      if (pin.direction == PinDirection::kInput) {
+        os << "      direction : input;\n";
+        os << "      capacitance : " << num(pin.capacitance_ff) << ";\n";
+      } else {
+        os << "      direction : output;\n";
+        if (!pin.function.empty()) {
+          os << "      function : \"" << pin.function << "\";\n";
+        }
+        if (pin.max_capacitance_ff > 0.0) {
+          os << "      max_capacitance : " << num(pin.max_capacitance_ff) << ";\n";
+        }
+        for (const TimingArc& arc : pin.arcs) {
+          os << "      timing () {\n";
+          os << "        related_pin : \"" << arc.related_pin << "\";\n";
+          write_lut(os, "cell_rise", arc.cell_rise, 8);
+          write_lut(os, "cell_fall", arc.cell_fall, 8);
+          write_lut(os, "rise_transition", arc.rise_transition, 8);
+          write_lut(os, "fall_transition", arc.fall_transition, 8);
+          os << "      }\n";
+        }
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace statsizer::liberty

@@ -1,0 +1,15 @@
+// Serializes a liberty::Library back to Liberty text. The emitted subset is
+// exactly what liberty::parse_library understands, so write -> parse is an
+// identity on the model (round-trip tested).
+#pragma once
+
+#include <string>
+
+#include "liberty/model.h"
+
+namespace statsizer::liberty {
+
+/// Emits the library as Liberty text (ps / fF units).
+[[nodiscard]] std::string write_library(const Library& lib);
+
+}  // namespace statsizer::liberty

@@ -1,0 +1,231 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/topo.h"
+
+namespace statsizer::netlist {
+
+std::string_view func_name(GateFunc func) {
+  switch (func) {
+    case GateFunc::kInput: return "INPUT";
+    case GateFunc::kBuf: return "BUF";
+    case GateFunc::kInv: return "INV";
+    case GateFunc::kAnd: return "AND";
+    case GateFunc::kNand: return "NAND";
+    case GateFunc::kOr: return "OR";
+    case GateFunc::kNor: return "NOR";
+    case GateFunc::kXor: return "XOR";
+    case GateFunc::kXnor: return "XNOR";
+    case GateFunc::kAoi21: return "AOI21";
+    case GateFunc::kOai21: return "OAI21";
+    case GateFunc::kMux2: return "MUX2";
+    case GateFunc::kConst0: return "CONST0";
+    case GateFunc::kConst1: return "CONST1";
+  }
+  return "?";
+}
+
+bool is_inverting(GateFunc func) {
+  switch (func) {
+    case GateFunc::kInv:
+    case GateFunc::kNand:
+    case GateFunc::kNor:
+    case GateFunc::kXnor:
+    case GateFunc::kAoi21:
+    case GateFunc::kOai21:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ArityRange func_arity(GateFunc func) {
+  constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+  switch (func) {
+    case GateFunc::kInput:
+    case GateFunc::kConst0:
+    case GateFunc::kConst1:
+      return {0, 0};
+    case GateFunc::kBuf:
+    case GateFunc::kInv:
+      return {1, 1};
+    case GateFunc::kAnd:
+    case GateFunc::kNand:
+    case GateFunc::kOr:
+    case GateFunc::kNor:
+    case GateFunc::kXor:
+    case GateFunc::kXnor:
+      return {2, kUnbounded};
+    case GateFunc::kAoi21:
+    case GateFunc::kOai21:
+    case GateFunc::kMux2:
+      return {3, 3};
+  }
+  return {0, 0};
+}
+
+namespace {
+void validate_arity(GateFunc func, std::size_t n) {
+  const ArityRange r = func_arity(func);
+  if (n < r.min || n > r.max) {
+    throw std::invalid_argument(std::string("bad fanin count for ") +
+                                std::string(func_name(func)) + ": " + std::to_string(n));
+  }
+}
+}  // namespace
+
+std::string Netlist::unique_name(std::string base) {
+  if (!base.empty() && !by_name_.contains(base)) return base;
+  std::string candidate;
+  do {
+    candidate = (base.empty() ? std::string("g") : base + "_") + std::to_string(autoname_++);
+  } while (by_name_.contains(candidate));
+  return candidate;
+}
+
+GateId Netlist::add_input(std::string name) {
+  if (name.empty()) throw std::invalid_argument("primary input needs a name");
+  if (by_name_.contains(name)) throw std::invalid_argument("duplicate node name: " + name);
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.name = name;
+  g.func = GateFunc::kInput;
+  gates_.push_back(std::move(g));
+  by_name_.emplace(std::move(name), id);
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(GateFunc func, std::span<const GateId> fanins, std::string name) {
+  if (func == GateFunc::kInput) throw std::invalid_argument("use add_input for primary inputs");
+  validate_arity(func, fanins.size());
+  for (GateId f : fanins) {
+    if (f >= gates_.size()) throw std::out_of_range("fanin id out of range");
+  }
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.name = unique_name(std::move(name));
+  g.func = func;
+  g.fanins.assign(fanins.begin(), fanins.end());
+  by_name_.emplace(g.name, id);
+  gates_.push_back(std::move(g));
+  for (GateId f : fanins) gates_[f].fanouts.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(GateFunc func, std::initializer_list<GateId> fanins, std::string name) {
+  return add_gate(func, std::span<const GateId>(fanins.begin(), fanins.size()), std::move(name));
+}
+
+void Netlist::add_output(std::string name, GateId driver) {
+  if (driver >= gates_.size()) throw std::out_of_range("output driver id out of range");
+  outputs_.push_back(Output{std::move(name), driver});
+  ++gates_[driver].po_count;
+}
+
+void Netlist::detach_fanin_edges(GateId id) {
+  for (GateId f : gates_[id].fanins) {
+    auto& outs = gates_[f].fanouts;
+    // Remove one occurrence (parallel edges are legal, e.g. XOR(a,a) pre-cleanup).
+    const auto it = std::find(outs.begin(), outs.end(), id);
+    if (it != outs.end()) outs.erase(it);
+  }
+}
+
+void Netlist::rewire(GateId id, GateFunc func, std::span<const GateId> fanins) {
+  if (func == GateFunc::kInput) throw std::invalid_argument("cannot rewire to INPUT");
+  validate_arity(func, fanins.size());
+  for (GateId f : fanins) {
+    if (f >= gates_.size()) throw std::out_of_range("fanin id out of range");
+  }
+  detach_fanin_edges(id);
+  gates_[id].func = func;
+  gates_[id].fanins.assign(fanins.begin(), fanins.end());
+  for (GateId f : fanins) gates_[f].fanouts.push_back(id);
+}
+
+void Netlist::transfer_fanouts(GateId from, GateId to) {
+  if (from == to) return;
+  for (GateId consumer : gates_[from].fanouts) {
+    for (GateId& f : gates_[consumer].fanins) {
+      if (f == from) f = to;
+    }
+    gates_[to].fanouts.push_back(consumer);
+  }
+  gates_[from].fanouts.clear();
+  for (Output& o : outputs_) {
+    if (o.driver == from) {
+      o.driver = to;
+      --gates_[from].po_count;
+      ++gates_[to].po_count;
+    }
+  }
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.func != GateFunc::kInput && g.func != GateFunc::kConst0 &&
+        g.func != GateFunc::kConst1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+GateId Netlist::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+std::vector<std::uint16_t> Netlist::sizes() const {
+  std::vector<std::uint16_t> out(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) out[i] = gates_[i].size_index;
+  return out;
+}
+
+void Netlist::set_sizes(std::span<const std::uint16_t> sizes) {
+  if (sizes.size() != gates_.size()) {
+    throw std::invalid_argument("set_sizes: size vector arity mismatch");
+  }
+  for (std::size_t i = 0; i < gates_.size(); ++i) gates_[i].size_index = sizes[i];
+}
+
+Status Netlist::check() const {
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    const ArityRange r = func_arity(g.func);
+    if (g.fanins.size() < r.min || g.fanins.size() > r.max) {
+      return Status::error("gate " + g.name + ": bad arity for " +
+                           std::string(func_name(g.func)));
+    }
+    for (GateId f : g.fanins) {
+      if (f >= gates_.size()) return Status::error("gate " + g.name + ": fanin out of range");
+      const auto& outs = gates_[f].fanouts;
+      if (std::count(outs.begin(), outs.end(), id) <
+          std::count(g.fanins.begin(), g.fanins.end(), f)) {
+        return Status::error("gate " + g.name + ": fanout list of " + gates_[f].name +
+                             " missing back-edge");
+      }
+    }
+    for (GateId consumer : g.fanouts) {
+      if (consumer >= gates_.size()) {
+        return Status::error("gate " + g.name + ": fanout out of range");
+      }
+      const auto& ins = gates_[consumer].fanins;
+      if (std::find(ins.begin(), ins.end(), id) == ins.end()) {
+        return Status::error("gate " + g.name + ": stale fanout edge to " +
+                             gates_[consumer].name);
+      }
+    }
+  }
+  for (const Output& o : outputs_) {
+    if (o.driver >= gates_.size()) return Status::error("output " + o.name + ": bad driver");
+  }
+  if (!is_acyclic(*this)) return Status::error("netlist contains a combinational cycle");
+  return Status();
+}
+
+}  // namespace statsizer::netlist

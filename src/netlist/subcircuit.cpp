@@ -1,0 +1,85 @@
+#include "netlist/subcircuit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/topo.h"
+
+namespace statsizer::netlist {
+
+namespace {
+
+/// BFS over fanins (dir = false) or fanouts (dir = true), up to @p levels
+/// edges from @p start; marks reached gates in @p member (PIs excluded).
+void mark_cone(const Netlist& nl, GateId start, unsigned levels, bool towards_outputs,
+               std::vector<bool>& member) {
+  std::vector<std::pair<GateId, unsigned>> frontier{{start, 0}};
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const auto [id, dist] = frontier[head];
+    if (dist >= levels) continue;
+    const Gate& g = nl.gate(id);
+    const auto& next = towards_outputs ? g.fanouts : g.fanins;
+    for (GateId n : next) {
+      if (nl.is_input(n) || nl.is_constant(n)) continue;
+      if (!member[n]) {
+        member[n] = true;
+        frontier.emplace_back(n, dist + 1);
+      } else if (dist + 1 < levels) {
+        // Already a member but may now be reachable with budget left; re-expand
+        // only if this path is shorter than any seen. For the tiny windows we
+        // use (k <= 3) revisiting is cheap and keeps the code simple.
+        frontier.emplace_back(n, dist + 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Subcircuit extract_subcircuit(const Netlist& nl, GateId center, unsigned fanin_levels,
+                              unsigned fanout_levels) {
+  if (center >= nl.node_count()) throw std::out_of_range("extract_subcircuit: bad center");
+  if (nl.is_input(center)) {
+    throw std::invalid_argument("extract_subcircuit: center cannot be a primary input");
+  }
+
+  Subcircuit sc;
+  sc.center = center;
+  sc.member.assign(nl.node_count(), false);
+  sc.member[center] = true;
+  mark_cone(nl, center, fanin_levels, /*towards_outputs=*/false, sc.member);
+  mark_cone(nl, center, fanout_levels, /*towards_outputs=*/true, sc.member);
+
+  // Collect members in global topological order so moment propagation can run
+  // in one pass.
+  for (GateId id : topological_order(nl)) {
+    if (sc.member[id]) sc.gates.push_back(id);
+  }
+
+  // Boundary inputs: any non-member feeding a member, deduplicated.
+  std::vector<bool> seen(nl.node_count(), false);
+  for (GateId id : sc.gates) {
+    for (GateId f : nl.gate(id).fanins) {
+      if (!sc.member[f] && !seen[f]) {
+        seen[f] = true;
+        sc.boundary_inputs.push_back(f);
+      }
+    }
+  }
+
+  // Outputs: members observable outside the window.
+  for (GateId id : sc.gates) {
+    const Gate& g = nl.gate(id);
+    bool escapes = g.po_count > 0 || g.fanouts.empty();
+    for (GateId consumer : g.fanouts) {
+      if (!sc.member[consumer]) {
+        escapes = true;
+        break;
+      }
+    }
+    if (escapes) sc.outputs.push_back(id);
+  }
+  return sc;
+}
+
+}  // namespace statsizer::netlist

@@ -1,0 +1,38 @@
+// Subcircuit extraction for the optimizer's inner loop (paper section 4.5):
+// around a candidate gate, take k levels of transitive fanin and k levels of
+// transitive fanout; arrival-time boundary conditions at the cut come from the
+// outer FULLSSTA pass. The paper found k = 2 "sufficiently accurate without
+// being too costly".
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace statsizer::netlist {
+
+/// A window of the netlist around one gate.
+struct Subcircuit {
+  GateId center = kNoGate;
+  /// Member gates in topological order (consistent with the parent netlist's
+  /// order). Excludes boundary inputs.
+  std::vector<GateId> gates;
+  /// Non-member nodes (gates or PIs) feeding at least one member: their
+  /// arrival statistics are the boundary conditions for evaluation.
+  std::vector<GateId> boundary_inputs;
+  /// Member gates whose value leaves the window (fanout to a non-member or a
+  /// primary output). Subcircuit cost (paper eq. 7) is evaluated over these.
+  std::vector<GateId> outputs;
+  /// Membership test indexed by GateId (size = parent netlist node count).
+  std::vector<bool> member;
+};
+
+/// Extracts the k-level fanin/fanout window around @p center.
+/// @p fanin_levels / @p fanout_levels count edges walked from the center;
+/// the center itself is always a member. Primary inputs are never members
+/// (they appear as boundary inputs).
+[[nodiscard]] Subcircuit extract_subcircuit(const Netlist& nl, GateId center,
+                                            unsigned fanin_levels = 2,
+                                            unsigned fanout_levels = 2);
+
+}  // namespace statsizer::netlist

@@ -1,0 +1,53 @@
+// Post-sizing area recovery (the paper's constrained mode: "delay ... is
+// optimized first then area is recovered as far as possible without
+// violating a delay constraint"). Gates are visited in descending area; each
+// is downsized as far as the selected constraint allows.
+//
+// Two constraint flavours:
+//  * kDeterministicArrival — the classic: keep the deterministic longest-path
+//    arrival within a tolerance of its value at entry. Off-critical gates
+//    shrink to minimum size; this is what produces the paper's wide-spread
+//    "original" circuits.
+//  * kStatisticalCost — keep the FASSTA E[max]-based objective within a
+//    tolerance; appropriate after *statistical* optimization, where slack on
+//    side paths is itself a statistical asset.
+#pragma once
+
+#include <cstddef>
+
+#include "fassta/engine.h"
+#include "opt/objective.h"
+
+namespace statsizer::opt {
+
+enum class RecoveryCriterion {
+  kDeterministicArrival,
+  kStatisticalCost,
+};
+
+struct AreaRecoveryOptions {
+  RecoveryCriterion criterion = RecoveryCriterion::kDeterministicArrival;
+  Objective objective;           ///< used by kStatisticalCost
+  /// Allowed degradation of the guarded metric, as a fraction of its value at
+  /// entry (e.g. 0.003 = 0.3%).
+  double tolerance = 0.003;
+  /// kStatisticalCost only: additionally cap sigma at (1 + this) times its
+  /// entry value. Without the cap, recovery can trade sigma for mean at
+  /// constant cost (mu + lambda*sigma is blind to the split) and quietly undo
+  /// a variance optimization it runs after.
+  double sigma_tolerance = 0.01;
+  std::size_t max_passes = 4;
+  fassta::EngineOptions fassta;
+};
+
+struct AreaRecoveryStats {
+  std::size_t downsizes = 0;
+  double area_before_um2 = 0.0;
+  double area_after_um2 = 0.0;
+};
+
+/// Recovers area in place; the netlist keeps its function and mapping.
+AreaRecoveryStats recover_area(sta::TimingContext& ctx,
+                               const AreaRecoveryOptions& options = {});
+
+}  // namespace statsizer::opt

@@ -1,0 +1,55 @@
+#include "opt/initial_sizing.h"
+
+#include <cmath>
+
+namespace statsizer::opt {
+
+using netlist::GateId;
+
+InitialSizingStats apply_initial_sizing(sta::TimingContext& ctx,
+                                        const InitialSizingOptions& options) {
+  auto& nl = ctx.mutable_netlist();
+  const auto& lib = ctx.library();
+  InitialSizingStats stats;
+
+  for (std::size_t pass = 0; pass < options.passes; ++pass) {
+    ctx.update();
+    std::size_t changed = 0;
+
+    // Reverse topological order: consumers get their drives first, so loads
+    // seen by producers are one pass fresher.
+    const auto& order = ctx.topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const GateId id = *it;
+      if (!ctx.has_cell(id)) continue;
+      auto& gate = nl.gate(id);
+      const auto& group = lib.group(gate.cell_group);
+
+      // Input cap per unit drive for this family (drive-normalized).
+      const liberty::Cell& smallest = lib.cell_for(gate.cell_group, 0);
+      const double cin_per_drive = smallest.input_cap_ff(0) / smallest.drive;
+      if (cin_per_drive <= 0.0) continue;
+
+      const double wanted_drive =
+          ctx.load_ff(id) / (options.target_electrical_fanout * cin_per_drive);
+
+      // Smallest size whose drive reaches the target (clamped to the family).
+      std::uint16_t pick = 0;
+      for (std::uint16_t s = 0; s < group.size_count(); ++s) {
+        pick = s;
+        if (lib.cell_for(gate.cell_group, s).drive >= wanted_drive) break;
+      }
+      if (pick != gate.size_index) {
+        gate.size_index = pick;
+        ++changed;
+      }
+    }
+    stats.changed_gates += changed;
+    ++stats.passes_run;
+    if (changed == 0) break;
+  }
+  ctx.update();
+  return stats;
+}
+
+}  // namespace statsizer::opt

@@ -1,0 +1,33 @@
+// Gain-based initial sizing: choose each gate's drive so its electrical
+// fanout (load / input capacitance per drive) lands near a target — the
+// load-balancing any synthesis tool performs before handing a netlist to
+// timing optimization. The paper's circuits come out of Design Compiler
+// already sized this way; starting the sizers from all-minimum cells instead
+// puts every net hopelessly overloaded and makes sizing moves non-local.
+//
+// Sizes depend on loads and loads on sizes, so the assignment iterates a few
+// reverse-topological passes; it converges quickly because drive choices are
+// monotone in load.
+#pragma once
+
+#include <cstddef>
+
+#include "sta/graph.h"
+
+namespace statsizer::opt {
+
+struct InitialSizingOptions {
+  double target_electrical_fanout = 4.0;  ///< classic logical-effort sweet spot
+  std::size_t passes = 4;
+};
+
+struct InitialSizingStats {
+  std::size_t passes_run = 0;
+  std::size_t changed_gates = 0;
+};
+
+/// Assigns size indices in place and updates the context.
+InitialSizingStats apply_initial_sizing(sta::TimingContext& ctx,
+                                        const InitialSizingOptions& options = {});
+
+}  // namespace statsizer::opt

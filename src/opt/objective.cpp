@@ -1,0 +1,2 @@
+// objective.h is header-only; this TU anchors the target.
+#include "opt/objective.h"

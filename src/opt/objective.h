@@ -1,0 +1,34 @@
+// The optimization objective (paper eq. 7): a user-weighted sum of mean and
+// standard deviation. lambda ranks "relative importance of minimizing
+// standard variation against mean of delay" — lambda = 0 degenerates to pure
+// mean-delay optimization; the paper evaluates lambda = 3 and 9 and observes
+// saturation beyond ~9 (unsystematic variation floor).
+#pragma once
+
+#include "sta/graph.h"
+
+namespace statsizer::opt {
+
+struct Objective {
+  double lambda = 3.0;
+
+  [[nodiscard]] double cost(double mean_ps, double sigma_ps) const {
+    return mean_ps + lambda * sigma_ps;
+  }
+  [[nodiscard]] double cost(const sta::NodeMoments& m) const {
+    return cost(m.mean_ps, m.sigma_ps);
+  }
+};
+
+/// Point-in-time summary of a circuit used by the flow and the benches.
+struct CircuitStats {
+  double mean_ps = 0.0;
+  double sigma_ps = 0.0;
+  double area_um2 = 0.0;
+
+  [[nodiscard]] double sigma_over_mu() const {
+    return mean_ps > 0.0 ? sigma_ps / mean_ps : 0.0;
+  }
+};
+
+}  // namespace statsizer::opt

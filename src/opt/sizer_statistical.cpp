@@ -1,0 +1,259 @@
+#include "opt/sizer_statistical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/subcircuit.h"
+#include "util/log.h"
+
+namespace statsizer::opt {
+
+using netlist::GateId;
+
+namespace {
+
+/// One planned resize with its locally-predicted cost improvement.
+struct PlannedResize {
+  GateId gate = netlist::kNoGate;
+  std::uint16_t new_size = 0;
+  double predicted_gain = 0.0;
+};
+
+CircuitStats stats_of(const sta::TimingContext& ctx, const ssta::FullSstaResult& full) {
+  CircuitStats s;
+  s.mean_ps = full.mean_ps;
+  s.sigma_ps = full.sigma_ps;
+  s.area_um2 = ctx.area_um2();
+  return s;
+}
+
+}  // namespace
+
+StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
+                                         const StatisticalSizerOptions& options) {
+  auto& nl = ctx.mutable_netlist();
+  const auto& lib = ctx.library();
+  const Objective& obj = options.objective;
+  const fassta::Engine engine(ctx, options.fassta);
+
+  StatisticalSizerStats stats;
+
+  ctx.update();
+  ssta::FullSstaResult full = ssta::run_fullssta(ctx, options.fullssta);
+  stats.initial = stats_of(ctx, full);
+  double global_cost = obj.cost(full.mean_ps, full.sigma_ps);
+  std::size_t global_sweeps = 0;
+  std::size_t uniform_bumps = 0;
+
+  // Accurate cost of the context's current state.
+  const auto accurate_cost = [&]() {
+    ctx.update();
+    const ssta::FullSstaResult r = ssta::run_fullssta(ctx, options.fullssta);
+    return obj.cost(r.mean_ps, r.sigma_ps);
+  };
+
+  for (stats.iterations = 0; stats.iterations < options.max_iterations; ++stats.iterations) {
+    if (options.target_sigma_ps.has_value() && full.sigma_ps <= *options.target_sigma_ps) {
+      stats.constraints_met = true;
+      break;
+    }
+
+    const WnssTrace trace = trace_wnss(ctx, full.node, options.wnss);
+    if (trace.path.empty()) break;
+
+    // Downstream statistical potential per node (only the subcircuit scoring
+    // mode needs it; see engine.h on window truncation).
+    std::vector<sta::NodeMoments> downstream;
+    if (options.scoring == InnerScoring::kSubcircuit) {
+      downstream = engine.compute_downstream();
+    }
+
+    // ---- move source 1: fast-engine plan over the WNSS path ---------------
+    std::vector<PlannedResize> plan;
+    for (const GateId g : trace.path) {
+      const auto& gate = nl.gate(g);
+      const auto& group = lib.group(gate.cell_group);
+
+      const auto score = [&](const liberty::Cell& cell) {
+        ++stats.fassta_evaluations;
+        if (options.scoring == InnerScoring::kGlobalFassta) {
+          return obj.cost(engine.run_with_candidate(g, cell));
+        }
+        const netlist::Subcircuit sc = netlist::extract_subcircuit(
+            nl, g, options.subcircuit_levels, options.subcircuit_levels);
+        return engine.evaluate_candidate(sc, full.node, downstream, g, cell, obj.lambda)
+            .cost;
+      };
+
+      const double current_cost = score(ctx.cell(g));
+      std::uint16_t best_size = gate.size_index;
+      double best_cost = current_cost;
+      for (std::uint16_t s = 0; s < group.size_count(); ++s) {
+        if (s == gate.size_index) continue;
+        const double c = score(lib.cell_for(gate.cell_group, s));
+        if (c < best_cost - options.min_predicted_gain) {
+          best_cost = c;
+          best_size = s;
+        }
+      }
+      if (best_size != gate.size_index) {
+        plan.push_back(PlannedResize{g, best_size, current_cost - best_cost});
+      }
+    }
+
+    std::size_t accepted = 0;
+    double accepted_cost = global_cost;
+
+    if (!plan.empty()) {
+      // Batch commit, verified against the accurate global objective.
+      const auto before_sizes = nl.sizes();
+      for (const PlannedResize& r : plan) nl.gate(r.gate).size_index = r.new_size;
+      const double batch_cost = accurate_cost();
+      if (batch_cost < global_cost - options.min_improvement) {
+        accepted = plan.size();
+        accepted_cost = batch_cost;
+      } else {
+        // Roll back, then retry one at a time in descending predicted gain.
+        STATSIZER_DEBUG() << "iter " << stats.iterations << ": batch of " << plan.size()
+                          << " rejected (" << global_cost << " -> " << batch_cost
+                          << "), trying singles";
+        nl.set_sizes(before_sizes);
+        std::sort(plan.begin(), plan.end(),
+                  [](const PlannedResize& a, const PlannedResize& b) {
+                    return a.predicted_gain > b.predicted_gain;
+                  });
+        for (const PlannedResize& r : plan) {
+          const std::uint16_t keep = nl.gate(r.gate).size_index;
+          nl.gate(r.gate).size_index = r.new_size;
+          const double c = accurate_cost();
+          if (c < accepted_cost - options.min_improvement) {
+            accepted_cost = c;
+            ++accepted;
+          } else {
+            nl.gate(r.gate).size_index = keep;
+          }
+        }
+      }
+    }
+
+    // Bounded exact-engine sweep over a gate list: every size of each gate,
+    // keeping moves the accurate engine confirms.
+    const auto exact_sweep = [&](std::span<const GateId> gates) {
+      std::size_t kept = 0;
+      for (const GateId g : gates) {
+        const auto& group = lib.group(nl.gate(g).cell_group);
+        for (std::uint16_t s = 0; s < group.size_count(); ++s) {
+          if (s == nl.gate(g).size_index) continue;
+          const std::uint16_t keep = nl.gate(g).size_index;
+          nl.gate(g).size_index = s;
+          const double c = accurate_cost();
+          if (c < accepted_cost - options.min_improvement) {
+            accepted_cost = c;
+            ++kept;
+          } else {
+            nl.gate(g).size_index = keep;
+          }
+        }
+      }
+      return kept;
+    };
+
+    // ---- move source 2: exact sweep of the path prefix ---------------------
+    if (accepted == 0) {
+      // The fast engine's plan may have filtered out moves the accurate
+      // engine would take (engine disagreement). This implements the paper's
+      // "until ... no further improvement" termination on the *accurate*
+      // objective, with a bounded budget.
+      const std::size_t n_path =
+          std::min(trace.path.size(), options.exact_fallback_gate_limit);
+      accepted += exact_sweep(std::span<const GateId>(trace.path.data(), n_path));
+    }
+
+    // ---- move source 3: netlist-wide sweep of the fattest arcs -------------
+    if (accepted == 0 && global_sweeps < options.max_global_sweeps) {
+      ++global_sweeps;
+      std::vector<GateId> fat;
+      for (GateId g = 0; g < nl.node_count(); ++g) {
+        if (ctx.has_cell(g)) fat.push_back(g);
+      }
+      const auto worst_sigma = [&](GateId g) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < nl.gate(g).fanins.size(); ++i) {
+          s = std::max(s, ctx.arc_sigma_ps(g, i));
+        }
+        return s;
+      };
+      std::sort(fat.begin(), fat.end(),
+                [&](GateId a, GateId b) { return worst_sigma(a) > worst_sigma(b); });
+      fat.resize(std::min(fat.size(), options.global_sweep_gate_limit));
+      accepted += exact_sweep(fat);
+      STATSIZER_DEBUG() << "iter " << stats.iterations << ": global sweep kept "
+                        << accepted << " resizes";
+    }
+
+    // ---- move source 4: coordinated population bump -------------------------
+    // Balanced fabrics (wide XOR trees) spread the output variance over
+    // thousands of near-identical paths; no single-gate move registers, but a
+    // whole-population upsize halves sigma at once (sigma ~ 1/drive).
+    if (accepted == 0 && uniform_bumps < options.max_uniform_bumps) {
+      ++uniform_bumps;
+      const auto try_bump = [&](bool only_small) {
+        const auto before = nl.sizes();
+        double median_drive = 1.0;
+        if (only_small) {
+          std::vector<double> drives;
+          for (GateId g = 0; g < nl.node_count(); ++g) {
+            if (ctx.has_cell(g)) drives.push_back(ctx.drive(g));
+          }
+          std::sort(drives.begin(), drives.end());
+          if (!drives.empty()) median_drive = drives[drives.size() / 2];
+        }
+        bool any = false;
+        for (GateId g = 0; g < nl.node_count(); ++g) {
+          if (!ctx.has_cell(g)) continue;
+          if (only_small && ctx.drive(g) > median_drive) continue;
+          const auto& group = lib.group(nl.gate(g).cell_group);
+          if (nl.gate(g).size_index + 1u < group.size_count()) {
+            ++nl.gate(g).size_index;
+            any = true;
+          }
+        }
+        if (!any) return false;
+        const double c = accurate_cost();
+        if (c < accepted_cost - options.min_improvement) {
+          accepted_cost = c;
+          return true;
+        }
+        nl.set_sizes(before);
+        return false;
+      };
+      if (try_bump(/*only_small=*/false) || try_bump(/*only_small=*/true)) {
+        ++accepted;
+        STATSIZER_DEBUG() << "iter " << stats.iterations << ": uniform bump accepted";
+      }
+    }
+
+    if (accepted == 0) {
+      ctx.update();
+      break;  // converged: no confirmed move from any source
+    }
+    stats.resizes += accepted;
+
+    ctx.update();
+    full = ssta::run_fullssta(ctx, options.fullssta);
+    global_cost = obj.cost(full.mean_ps, full.sigma_ps);
+    STATSIZER_DEBUG() << "iter " << stats.iterations << ": cost " << global_cost
+                      << " (mu " << full.mean_ps << ", sigma " << full.sigma_ps << ")";
+  }
+
+  // Final accurate analysis for the report (netlist state is already final).
+  ctx.update();
+  full = ssta::run_fullssta(ctx, options.fullssta);
+  stats.final_ = stats_of(ctx, full);
+  if (options.target_sigma_ps.has_value() && full.sigma_ps <= *options.target_sigma_ps) {
+    stats.constraints_met = true;
+  }
+  return stats;
+}
+
+}  // namespace statsizer::opt

@@ -1,0 +1,92 @@
+// StatisticalGreedy — the paper's algorithm (Fig. 2), verbatim structure:
+//
+//   repeat {
+//     FULLSSTA                         // accurate outer engine
+//     trace WNSS path
+//     foreach gate g on the path {
+//       extract subcircuit S around g  // 2 levels of TFI/TFO
+//       foreach available size of g:
+//         score S with FASSTA + eq. 7  // fast inner engine
+//       schedule the best size
+//     }
+//     resize scheduled gates           // batch commit
+//   } until constraints met or no further improvement
+//
+// "No further improvement" is enforced on the *global* FULLSSTA objective:
+// a batch that fails to improve it is rolled back and retried as the single
+// most-promising resize; if that fails too, the loop ends. This guards
+// against oscillation, which batch-greedy sizers are prone to.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fassta/engine.h"
+#include "opt/objective.h"
+#include "opt/wnss.h"
+#include "ssta/fullssta.h"
+
+namespace statsizer::opt {
+
+/// How candidate sizes are scored in the inner loop.
+enum class InnerScoring {
+  /// One full FASSTA pass per candidate (O(E), microseconds): sees the
+  /// max-over-all-paths behaviour of the objective. Default — robust.
+  kGlobalFassta,
+  /// The paper's literal formulation: FASSTA on a k-level subcircuit window,
+  /// outputs projected through downstream potentials. Cheaper per candidate
+  /// but blind to breadth effects; kept for the window-depth ablation.
+  kSubcircuit,
+};
+
+struct StatisticalSizerOptions {
+  Objective objective;                     ///< eq. 7 weight lambda
+  InnerScoring scoring = InnerScoring::kGlobalFassta;
+  unsigned subcircuit_levels = 2;          ///< TFI/TFO depth (paper: 2)
+  std::size_t max_iterations = 120;
+  double min_improvement = 1e-3;           ///< required global cost decrease (ps)
+  /// Planning threshold: a candidate enters the resize plan only if the fast
+  /// engine predicts at least this much cost gain (ps). Set above the
+  /// FASSTA-vs-FULLSSTA disagreement noise so plans contain confident moves;
+  /// acceptance still uses min_improvement against the accurate engine.
+  double min_predicted_gain = 0.3;
+  ssta::FullSstaOptions fullssta;          ///< outer-engine controls
+  fassta::EngineOptions fassta;            ///< inner-engine controls
+  WnssOptions wnss;                        ///< tracer controls
+  /// Optional constraint mode: stop as soon as sigma reaches this target.
+  std::optional<double> target_sigma_ps;
+
+  // -- convergence rescue (bounded exact-engine move sources) -----------------
+  /// When the fast-engine plan yields nothing the accurate engine confirms,
+  /// up to this many WNSS-path gates are re-swept with FULLSSTA scoring.
+  std::size_t exact_fallback_gate_limit = 16;
+  /// On heavily balanced fabrics (e.g. wide XOR trees) a single WNSS path per
+  /// iteration cannot dent the max over thousands of near-identical paths.
+  /// When even the exact path sweep stalls, up to max_global_sweeps times per
+  /// run the optimizer sweeps the top gates netlist-wide ranked by arc sigma
+  /// (the fattest delay contributors, wherever they sit).
+  std::size_t global_sweep_gate_limit = 24;
+  std::size_t max_global_sweeps = 4;
+  /// Coordinated move for balanced fabrics: when every single-gate move
+  /// fails, try bumping whole gate populations (all gates, then the
+  /// below-median-drive half) one size up and keep the bump iff the accurate
+  /// engine confirms it. sigma ~ 1/drive makes this the natural fabric-wide
+  /// variance lever; single-gate greedy cannot express it.
+  std::size_t max_uniform_bumps = 6;
+};
+
+struct StatisticalSizerStats {
+  std::size_t iterations = 0;
+  std::size_t resizes = 0;
+  std::size_t fassta_evaluations = 0;
+  CircuitStats initial;
+  CircuitStats final_;
+  bool constraints_met = false;
+};
+
+/// Runs StatisticalGreedy in place on the context's netlist.
+StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
+                                         const StatisticalSizerOptions& options = {});
+
+}  // namespace statsizer::opt

@@ -1,0 +1,86 @@
+#include "ssta/canonical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fassta/clark.h"
+
+namespace statsizer::ssta {
+
+using netlist::GateId;
+
+double CanonicalForm::sigma_ps() const {
+  return std::sqrt(global_coeff * global_coeff + independent_ps * independent_ps);
+}
+
+CanonicalForm canonical_sum(const CanonicalForm& a, const CanonicalForm& b) {
+  CanonicalForm r;
+  r.nominal_ps = a.nominal_ps + b.nominal_ps;
+  r.global_coeff = a.global_coeff + b.global_coeff;
+  r.independent_ps = std::sqrt(a.independent_ps * a.independent_ps +
+                               b.independent_ps * b.independent_ps);
+  return r;
+}
+
+CanonicalForm canonical_max(const CanonicalForm& a, const CanonicalForm& b) {
+  const double sig_a = a.sigma_ps();
+  const double sig_b = b.sigma_ps();
+  // Correlation comes only from the shared global variable.
+  double rho = 0.0;
+  if (sig_a > 0.0 && sig_b > 0.0) {
+    rho = (a.global_coeff * b.global_coeff) / (sig_a * sig_b);
+    rho = std::clamp(rho, -1.0, 1.0);
+  }
+  const fassta::ClarkResult m =
+      fassta::clark_max_exact(a.nominal_ps, sig_a, b.nominal_ps, sig_b, rho);
+
+  CanonicalForm r;
+  r.nominal_ps = m.mean;
+  // Tightness-weighted blending of sensitivities (Visweswariah/Chang style).
+  const double t = m.tightness;
+  r.global_coeff = t * a.global_coeff + (1.0 - t) * b.global_coeff;
+  const double residual = m.var - r.global_coeff * r.global_coeff;
+  r.independent_ps = std::sqrt(std::max(0.0, residual));
+  return r;
+}
+
+CanonicalResult run_canonical(const sta::TimingContext& ctx) {
+  const auto& nl = ctx.netlist();
+  const auto& var = ctx.variation();
+  const double gf = var.params().global_fraction;
+
+  CanonicalResult result;
+  result.node.assign(nl.node_count(), CanonicalForm{});
+
+  for (const GateId id : ctx.topo_order()) {
+    const auto& g = nl.gate(id);
+    if (g.fanins.empty()) continue;
+    CanonicalForm acc;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      const double d = ctx.arc_delay_ps(id, i);
+      const double sys = var.systematic_sigma_ps(d, ctx.drive(id));
+      CanonicalForm delay;
+      delay.nominal_ps = d;
+      delay.global_coeff = std::sqrt(gf) * sys;
+      const double rand = var.random_sigma_ps();
+      delay.independent_ps = std::sqrt((1.0 - gf) * sys * sys + rand * rand);
+
+      const CanonicalForm through = canonical_sum(result.node[g.fanins[i]], delay);
+      acc = (i == 0) ? through : canonical_max(acc, through);
+    }
+    result.node[id] = acc;
+  }
+
+  CanonicalForm out;
+  bool first = true;
+  for (const auto& po : nl.outputs()) {
+    out = first ? result.node[po.driver] : canonical_max(out, result.node[po.driver]);
+    first = false;
+  }
+  result.output = out;
+  result.mean_ps = out.mean_ps();
+  result.sigma_ps = out.sigma_ps();
+  return result;
+}
+
+}  // namespace statsizer::ssta

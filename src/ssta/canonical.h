@@ -1,0 +1,49 @@
+// Canonical first-order SSTA with one global process component — the
+// correlation-aware outer-loop alternative the paper points to in section
+// 4.3 ("the outer loop relies on the more accurate ... approach that can
+// track correlations ... using Principal Component Analysis or other
+// methods"). Every arrival time is kept in canonical form
+//
+//   A = nominal + g * G + r * R_A
+//
+// where G is a standard-normal global variable shared by all gates (process
+// corner) and R_A aggregates node-local independent variation. Sums add
+// coefficients (independent parts in RSS); max uses Clark's formulas with the
+// correlation implied by the shared G, and blends coefficients by tightness.
+#pragma once
+
+#include <vector>
+
+#include "sta/graph.h"
+
+namespace statsizer::ssta {
+
+/// First-order canonical arrival form.
+struct CanonicalForm {
+  double nominal_ps = 0.0;
+  double global_coeff = 0.0;     ///< sensitivity to the shared variable G
+  double independent_ps = 0.0;   ///< RSS of node-local variation
+
+  [[nodiscard]] double sigma_ps() const;
+  [[nodiscard]] double mean_ps() const { return nominal_ps; }
+};
+
+struct CanonicalResult {
+  std::vector<CanonicalForm> node;  ///< per-node arrival (indexed by GateId)
+  CanonicalForm output;             ///< statistical max over primary outputs
+  double mean_ps = 0.0;
+  double sigma_ps = 0.0;
+};
+
+/// Sum of a canonical arrival and a canonical gate delay.
+[[nodiscard]] CanonicalForm canonical_sum(const CanonicalForm& a, const CanonicalForm& b);
+
+/// Clark max of two canonical forms, honouring the correlation induced by the
+/// shared global component.
+[[nodiscard]] CanonicalForm canonical_max(const CanonicalForm& a, const CanonicalForm& b);
+
+/// Runs canonical SSTA. The split of each arc's sigma into global/independent
+/// parts follows the variation model's global_fraction.
+[[nodiscard]] CanonicalResult run_canonical(const sta::TimingContext& ctx);
+
+}  // namespace statsizer::ssta

@@ -1,0 +1,47 @@
+#include "ssta/fullssta.h"
+
+#include <cmath>
+
+namespace statsizer::ssta {
+
+using netlist::GateId;
+using pdf::DiscretePdf;
+
+FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions& options) {
+  const auto& nl = ctx.netlist();
+  const std::size_t samples = options.samples_per_pdf;
+
+  FullSstaResult result;
+  result.node.assign(nl.node_count(), sta::NodeMoments{});
+
+  std::vector<DiscretePdf> arrival(nl.node_count(), DiscretePdf::point(0.0));
+
+  for (const GateId id : ctx.topo_order()) {
+    const auto& g = nl.gate(id);
+    if (g.fanins.empty()) continue;  // PI / constant: point mass at 0
+
+    DiscretePdf acc;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      const DiscretePdf delay = DiscretePdf::normal(
+          ctx.arc_delay_ps(id, i), ctx.arc_sigma_ps(id, i), samples, options.span_sigmas);
+      const DiscretePdf through = pdf::sum(arrival[g.fanins[i]], delay, samples);
+      acc = (i == 0) ? through : pdf::max(acc, through, samples);
+    }
+    result.node[id] = sta::NodeMoments{acc.mean(), acc.stddev()};
+    arrival[id] = std::move(acc);
+  }
+
+  // RV_O = statistical max over all primary outputs.
+  DiscretePdf out = DiscretePdf::point(0.0);
+  bool first = true;
+  for (const auto& po : nl.outputs()) {
+    out = first ? arrival[po.driver] : pdf::max(out, arrival[po.driver], samples);
+    first = false;
+  }
+  result.output_pdf = std::move(out);
+  result.mean_ps = result.output_pdf.mean();
+  result.sigma_ps = result.output_pdf.stddev();
+  return result;
+}
+
+}  // namespace statsizer::ssta

@@ -1,0 +1,38 @@
+// FULLSSTA — the paper's accurate outer-loop statistical timing engine
+// (section 4.2, after Liou et al. DAC'01). Arrival times are full discrete
+// pdfs propagated through the netlist:
+//   through an arc:  arrival_out = arrival_in (+) Normal(d_arc, sigma_arc)
+//   across fanins:   statistical max via CDF product
+// pdfs are kept at a user-controlled sampling rate (paper: 10-15 points).
+// Besides the pdfs, the engine records mean/sigma at every node — exactly the
+// values FASSTA later uses as subcircuit boundary conditions.
+#pragma once
+
+#include <vector>
+
+#include "pdf/discrete_pdf.h"
+#include "sta/graph.h"
+
+namespace statsizer::ssta {
+
+struct FullSstaOptions {
+  std::size_t samples_per_pdf = 13;  ///< paper: "10-15 samples per pdf"
+  double span_sigmas = 4.0;          ///< grid half-width for gate-delay pdfs
+};
+
+struct FullSstaResult {
+  /// Arrival moments per node (indexed by GateId).
+  std::vector<sta::NodeMoments> node;
+  /// Arrival pdf of the statistical max over all primary outputs: the random
+  /// variable RV_O that "characterizes the mean and variance of the entire
+  /// circuit" (paper section 2.1).
+  pdf::DiscretePdf output_pdf;
+  double mean_ps = 0.0;
+  double sigma_ps = 0.0;
+};
+
+/// Runs discrete-pdf SSTA over the whole netlist.
+[[nodiscard]] FullSstaResult run_fullssta(const sta::TimingContext& ctx,
+                                          const FullSstaOptions& options = {});
+
+}  // namespace statsizer::ssta

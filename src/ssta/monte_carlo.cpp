@@ -1,0 +1,57 @@
+#include "ssta/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/numeric.h"
+#include "util/rng.h"
+
+namespace statsizer::ssta {
+
+using netlist::GateId;
+
+MonteCarloResult run_monte_carlo(const sta::TimingContext& ctx,
+                                 const MonteCarloOptions& options) {
+  const auto& nl = ctx.netlist();
+  const auto& var = ctx.variation();
+  util::Rng rng(options.seed);
+
+  MonteCarloResult result;
+  result.circuit_samples.reserve(options.samples);
+
+  std::vector<double> arrival(nl.node_count(), 0.0);
+  std::vector<util::RunningStats> node_stats;
+  if (options.per_node_stats) node_stats.resize(nl.node_count());
+
+  util::RunningStats circuit_stats;
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    const double global_z = rng.normal();
+    for (const GateId id : ctx.topo_order()) {
+      const auto& g = nl.gate(id);
+      double arr = 0.0;
+      for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+        const double d = var.sample_delay_ps(ctx.arc_delay_ps(id, i), ctx.drive(id),
+                                             global_z, rng);
+        arr = std::max(arr, arrival[g.fanins[i]] + d);
+      }
+      arrival[id] = arr;
+      if (options.per_node_stats) node_stats[id].add(arr);
+    }
+    double circuit = 0.0;
+    for (const auto& po : nl.outputs()) circuit = std::max(circuit, arrival[po.driver]);
+    result.circuit_samples.push_back(circuit);
+    circuit_stats.add(circuit);
+  }
+
+  result.mean_ps = circuit_stats.mean();
+  result.sigma_ps = circuit_stats.stddev();
+  if (options.per_node_stats) {
+    result.node.resize(nl.node_count());
+    for (GateId id = 0; id < nl.node_count(); ++id) {
+      result.node[id] = sta::NodeMoments{node_stats[id].mean(), node_stats[id].stddev()};
+    }
+  }
+  return result;
+}
+
+}  // namespace statsizer::ssta

@@ -1,0 +1,36 @@
+// Deterministic static timing analysis over a TimingContext: arrival times,
+// required times, slack, worst-negative-slack (WNS) critical path. This is
+// the classic analysis the paper's WNSS concept generalizes, and the engine
+// behind the mean-delay baseline sizer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sta/graph.h"
+
+namespace statsizer::sta {
+
+struct DstaResult {
+  /// Latest arrival time per node (0 at primary inputs).
+  std::vector<double> arrival_ps;
+  /// Required time per node (clock period, or max arrival if none given).
+  std::vector<double> required_ps;
+  /// slack = required - arrival.
+  std::vector<double> slack_ps;
+  /// Latest primary-output arrival (circuit delay).
+  double max_arrival_ps = 0.0;
+  /// Driver of the latest output.
+  netlist::GateId critical_output = netlist::kNoGate;
+  /// Critical path, primary input first, critical output driver last.
+  std::vector<netlist::GateId> critical_path;
+  /// Worst slack over primary outputs.
+  double wns_ps = 0.0;
+};
+
+/// Runs deterministic STA. If @p clock_period_ps is empty, required times are
+/// set to the observed max arrival (zero-slack normalization).
+[[nodiscard]] DstaResult run_dsta(const TimingContext& ctx,
+                                  std::optional<double> clock_period_ps = std::nullopt);
+
+}  // namespace statsizer::sta

@@ -1,0 +1,108 @@
+#include "sta/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/topo.h"
+
+namespace statsizer::sta {
+
+using netlist::GateId;
+
+TimingContext::TimingContext(netlist::Netlist& nl, const liberty::Library& lib,
+                             const variation::VariationModel& var, TimingOptions options)
+    : nl_(nl), lib_(lib), var_(var), options_(options) {
+  order_ = netlist::topological_order(nl_);
+  arc_offset_.assign(nl_.node_count() + 1, 0);
+  for (GateId id = 0; id < nl_.node_count(); ++id) {
+    arc_offset_[id + 1] =
+        arc_offset_[id] + static_cast<std::uint32_t>(nl_.gate(id).fanins.size());
+  }
+  update();
+}
+
+bool TimingContext::has_cell(GateId id) const {
+  return nl_.gate(id).cell_group != netlist::kUnmapped;
+}
+
+const liberty::Cell& TimingContext::cell(GateId id) const {
+  const auto& g = nl_.gate(id);
+  if (g.cell_group == netlist::kUnmapped) {
+    throw std::logic_error("TimingContext::cell on unmapped node " + g.name);
+  }
+  return lib_.cell_for(g.cell_group, g.size_index);
+}
+
+double TimingContext::drive(GateId id) const { return has_cell(id) ? cell(id).drive : 1.0; }
+
+double TimingContext::gate_delay_ps(GateId g) const {
+  const std::size_t n = nl_.gate(g).fanins.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) worst = std::max(worst, arc_delay_ps(g, i));
+  return worst;
+}
+
+void TimingContext::update() {
+  const std::size_t n = nl_.node_count();
+  load_.assign(n, 0.0);
+  slew_.assign(n, options_.primary_input_slew_ps);
+  arc_delay_.assign(arc_offset_[n], 0.0);
+  arc_sigma_.assign(arc_offset_[n], 0.0);
+  area_um2_ = 0.0;
+
+  // Loads: consumers' pin caps plus primary-output loads.
+  for (GateId id = 0; id < n; ++id) {
+    const auto& g = nl_.gate(id);
+    if (g.po_count > 0) load_[id] += options_.primary_output_load_ff * g.po_count;
+    if (g.cell_group == netlist::kUnmapped) continue;
+    const liberty::Cell& c = lib_.cell_for(g.cell_group, g.size_index);
+    area_um2_ += c.area_um2;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      load_[g.fanins[i]] += c.input_cap_ff(i);
+    }
+  }
+
+  // Slews / arc delays / sigmas in topological order.
+  for (const GateId id : order_) {
+    const auto& g = nl_.gate(id);
+    if (g.cell_group == netlist::kUnmapped) continue;  // PI or constant
+    const liberty::Cell& c = lib_.cell_for(g.cell_group, g.size_index);
+    const double load = load_[id];
+    double out_slew = 0.0;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      const liberty::TimingArc& arc = c.arc_from(i);
+      const double in_slew = slew_[g.fanins[i]];
+      const double d = arc.delay(in_slew, load);
+      arc_delay_[arc_offset_[id] + i] = d;
+      arc_sigma_[arc_offset_[id] + i] = var_.sigma_ps(d, c.drive);
+      out_slew = std::max(out_slew, arc.output_slew(in_slew, load));
+    }
+    slew_[id] = out_slew;
+  }
+}
+
+double TimingContext::load_ff_with_resize(GateId driver, GateId center,
+                                          const liberty::Cell& candidate) const {
+  double load = load_[driver];
+  const auto& center_gate = nl_.gate(center);
+  if (center_gate.cell_group == netlist::kUnmapped) return load;
+  const liberty::Cell& current = lib_.cell_for(center_gate.cell_group, center_gate.size_index);
+  for (std::size_t i = 0; i < center_gate.fanins.size(); ++i) {
+    if (center_gate.fanins[i] == driver) {
+      load += candidate.input_cap_ff(i) - current.input_cap_ff(i);
+    }
+  }
+  return load;
+}
+
+double TimingContext::arc_delay_with(GateId g, std::size_t i, const liberty::Cell& cell,
+                                     double load_ff) const {
+  const GateId fanin = nl_.gate(g).fanins[i];
+  return cell.arc_from(i).delay(slew_[fanin], load_ff);
+}
+
+double TimingContext::sigma_for(const liberty::Cell& cell, double delay_ps) const {
+  return var_.sigma_ps(delay_ps, cell.drive);
+}
+
+}  // namespace statsizer::sta

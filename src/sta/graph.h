@@ -1,0 +1,109 @@
+// TimingContext: the timing view of a mapped netlist against a library and a
+// variation model. One update() pass computes, for the current sizing state:
+//   * per-gate capacitive load (consumer pin caps + primary-output load),
+//   * per-gate worst output slew (propagated topologically),
+//   * per-arc nominal delay (NLDM lookup) and delay sigma (variation model),
+//   * total cell area.
+// Every analysis engine (deterministic STA, FULLSSTA, FASSTA, Monte Carlo)
+// reads this snapshot; the optimizer calls update() after committing resizes.
+//
+// The "what-if" queries evaluate a candidate cell binding for one gate
+// without touching the snapshot — this is the contract FASSTA's inner loop
+// is built on (paper section 4.5).
+#pragma once
+
+#include <vector>
+
+#include "liberty/model.h"
+#include "netlist/netlist.h"
+#include "variation/model.h"
+
+namespace statsizer::sta {
+
+/// First two moments of a node's statistical arrival time. FULLSSTA computes
+/// these for every node; FASSTA consumes them as subcircuit boundary
+/// conditions (the paper's two-engine nesting).
+struct NodeMoments {
+  double mean_ps = 0.0;
+  double sigma_ps = 0.0;
+};
+
+struct TimingOptions {
+  double primary_input_slew_ps = 20.0;
+  /// Capacitance modelled at each primary output (e.g. a register's D pin).
+  double primary_output_load_ff = 4.0;
+};
+
+class TimingContext {
+ public:
+  /// The netlist must be mapped to @p lib (techmap::is_mapped). All three
+  /// references must outlive the context. The netlist is held mutably so
+  /// optimizers can change size indices through mutable_netlist() and then
+  /// call update(); the context itself never alters the netlist.
+  TimingContext(netlist::Netlist& nl, const liberty::Library& lib,
+                const variation::VariationModel& var, TimingOptions options = {});
+
+  /// Recomputes loads, slews, delays, sigmas, area for the netlist's current
+  /// sizing state. Called automatically by the constructor.
+  void update();
+
+  // -- bound objects ---------------------------------------------------------
+  [[nodiscard]] const netlist::Netlist& netlist() const { return nl_; }
+  [[nodiscard]] netlist::Netlist& mutable_netlist() { return nl_; }
+  [[nodiscard]] const liberty::Library& library() const { return lib_; }
+  [[nodiscard]] const variation::VariationModel& variation() const { return var_; }
+  [[nodiscard]] const TimingOptions& options() const { return options_; }
+  [[nodiscard]] const std::vector<netlist::GateId>& topo_order() const { return order_; }
+
+  // -- per-node --------------------------------------------------------------
+  /// True for nodes bound to a library cell (logic gates).
+  [[nodiscard]] bool has_cell(netlist::GateId id) const;
+  /// The cell currently bound to @p id. Precondition: has_cell(id).
+  [[nodiscard]] const liberty::Cell& cell(netlist::GateId id) const;
+  /// Drive strength of the bound cell (1.0 for unbound nodes).
+  [[nodiscard]] double drive(netlist::GateId id) const;
+  /// Capacitive load seen by the node's output.
+  [[nodiscard]] double load_ff(netlist::GateId id) const { return load_[id]; }
+  /// Worst output slew of the node (input slew for PIs).
+  [[nodiscard]] double slew_ps(netlist::GateId id) const { return slew_[id]; }
+
+  // -- per-arc (input index i of gate g) --------------------------------------
+  [[nodiscard]] double arc_delay_ps(netlist::GateId g, std::size_t i) const {
+    return arc_delay_[arc_offset_[g] + i];
+  }
+  [[nodiscard]] double arc_sigma_ps(netlist::GateId g, std::size_t i) const {
+    return arc_sigma_[arc_offset_[g] + i];
+  }
+  /// Worst arc delay of the gate (its "gate delay").
+  [[nodiscard]] double gate_delay_ps(netlist::GateId g) const;
+
+  // -- aggregates --------------------------------------------------------------
+  [[nodiscard]] double area_um2() const { return area_um2_; }
+
+  // -- what-if queries (candidate cell for one gate; snapshot unchanged) -------
+  /// Load of @p driver if gate @p center were bound to @p candidate.
+  [[nodiscard]] double load_ff_with_resize(netlist::GateId driver, netlist::GateId center,
+                                           const liberty::Cell& candidate) const;
+  /// Delay of arc @p i of gate @p g with an explicit cell binding and load,
+  /// using the snapshot's fanin slews.
+  [[nodiscard]] double arc_delay_with(netlist::GateId g, std::size_t i,
+                                      const liberty::Cell& cell, double load_ff) const;
+  /// Sigma for a delay through @p cell (variation model shortcut).
+  [[nodiscard]] double sigma_for(const liberty::Cell& cell, double delay_ps) const;
+
+ private:
+  netlist::Netlist& nl_;
+  const liberty::Library& lib_;
+  const variation::VariationModel& var_;
+  TimingOptions options_;
+
+  std::vector<netlist::GateId> order_;
+  std::vector<double> load_;
+  std::vector<double> slew_;
+  std::vector<std::uint32_t> arc_offset_;
+  std::vector<double> arc_delay_;
+  std::vector<double> arc_sigma_;
+  double area_um2_ = 0.0;
+};
+
+}  // namespace statsizer::sta

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Benches and examples raise the level to Info;
+// library code logs sparingly (optimizer iteration summaries at Debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace statsizer::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Writes one formatted line ("[level] message") to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style single-line logger; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace statsizer::util
+
+#define STATSIZER_LOG(level) ::statsizer::util::detail::LogMessage(level)
+#define STATSIZER_DEBUG() STATSIZER_LOG(::statsizer::util::LogLevel::kDebug)
+#define STATSIZER_INFO() STATSIZER_LOG(::statsizer::util::LogLevel::kInfo)
+#define STATSIZER_WARN() STATSIZER_LOG(::statsizer::util::LogLevel::kWarn)
+#define STATSIZER_ERROR() STATSIZER_LOG(::statsizer::util::LogLevel::kError)

@@ -1,0 +1,65 @@
+// Lightweight error propagation for operations that can fail on user input
+// (file parsing, netlist construction from external text, ...).
+//
+// The library does not throw across its public API; fallible factories return
+// StatusOr<T>. Internal contract violations use assertions / logic_error and
+// indicate bugs, not bad input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace statsizer {
+
+/// Outcome of a fallible operation: ok, or an error with a human-readable
+/// message (including source location info where available, e.g. "line 12: ...").
+class Status {
+ public:
+  /// Successful status.
+  Status() = default;
+
+  /// Failed status carrying @p message.
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// A value or an error. Minimal analogue of absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors absl.
+  StatusOr(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  [[nodiscard]] bool ok() const { return status_.ok() && value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace statsizer

@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace statsizer::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row arity does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto emit_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << cell;
+      for (std::size_t i = cell.size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  emit_row(os, header_);
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule(os);
+    } else {
+      emit_row(os, row);
+    }
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f %%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace statsizer::util

@@ -1,0 +1,39 @@
+// ASCII table formatter used by the benchmark harnesses to print paper-style
+// tables (Table 1, ablation summaries) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace statsizer::util {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t({"Circuit", "Gates", "sigma/mu"});
+///   t.add_row({"c432", "203", "0.093"});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator at the current position.
+  void add_separator();
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector encodes a separator
+};
+
+/// Formats a double with @p digits significant decimals ("%.*f").
+[[nodiscard]] std::string fmt(double value, int digits = 3);
+
+/// Formats a signed percentage, e.g. +4.2 %  /  -54.0 %.
+[[nodiscard]] std::string fmt_pct(double fraction, int digits = 0);
+
+}  // namespace statsizer::util

@@ -1,0 +1,193 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.h"
+#include "fassta/engine.h"
+#include "liberty/synthetic.h"
+#include "netlist/subcircuit.h"
+#include "ssta/fullssta.h"
+#include "techmap/mapper.h"
+
+namespace statsizer::fassta {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+struct Bench {
+  Netlist nl;
+  liberty::Library lib = liberty::build_synthetic_90nm();
+  variation::VariationModel var;
+  std::unique_ptr<sta::TimingContext> ctx;
+
+  explicit Bench(Netlist n) : nl(std::move(n)) {
+    auto s = techmap::map_to_library(nl, lib);
+    if (!s.ok()) throw std::logic_error(s.message());
+    ctx = std::make_unique<sta::TimingContext>(nl, lib, var, sta::TimingOptions{});
+  }
+};
+
+TEST(Engine, TracksFullSsta) {
+  Bench b(circuits::make_cla_adder(8));
+  const Engine eng(*b.ctx);
+  sta::NodeMoments circuit;
+  const auto node = eng.run(&circuit);
+  const auto full = ssta::run_fullssta(*b.ctx);
+  EXPECT_NEAR(circuit.mean_ps, full.mean_ps, 0.02 * full.mean_ps);
+  EXPECT_NEAR(circuit.sigma_ps, full.sigma_ps, 0.3 * full.sigma_ps);
+  // Per-node means track closely too.
+  for (GateId id = 0; id < b.nl.node_count(); ++id) {
+    if (!b.ctx->has_cell(id)) continue;
+    EXPECT_NEAR(node[id].mean_ps, full.node[id].mean_ps,
+                0.03 * std::max(full.node[id].mean_ps, 10.0))
+        << b.nl.gate(id).name;
+  }
+}
+
+TEST(Engine, FastAndExactModesAgree) {
+  Bench b(circuits::make_cla_adder(8));
+  EngineOptions fast;
+  fast.max_mode = MaxMode::kFast;
+  EngineOptions exact;
+  exact.max_mode = MaxMode::kExact;
+  sta::NodeMoments mf, me;
+  (void)Engine(*b.ctx, fast).run(&mf);
+  (void)Engine(*b.ctx, exact).run(&me);
+  EXPECT_NEAR(mf.mean_ps, me.mean_ps, 0.01 * me.mean_ps);
+  EXPECT_NEAR(mf.sigma_ps, me.sigma_ps, 0.08 * me.sigma_ps + 0.2);
+}
+
+TEST(Engine, RunWithCurrentCellIsIdentity) {
+  Bench b(circuits::make_ripple_adder(6));
+  const Engine eng(*b.ctx);
+  sta::NodeMoments base;
+  (void)eng.run(&base);
+  for (GateId id = 0; id < b.nl.node_count(); ++id) {
+    if (!b.ctx->has_cell(id)) continue;
+    const sta::NodeMoments m = eng.run_with_candidate(id, b.ctx->cell(id));
+    EXPECT_NEAR(m.mean_ps, base.mean_ps, 1e-9) << b.nl.gate(id).name;
+    EXPECT_NEAR(m.sigma_ps, base.sigma_ps, 1e-9) << b.nl.gate(id).name;
+  }
+}
+
+TEST(Engine, RunWithCandidateMatchesCommittedResize) {
+  Bench b(circuits::make_ripple_adder(6));
+  const Engine eng(*b.ctx);
+  // Pick a mid-circuit gate and its largest size.
+  for (GateId id = 0; id < b.nl.node_count(); ++id) {
+    if (!b.ctx->has_cell(id) || b.nl.gate(id).fanouts.empty()) continue;
+    const auto& group = b.lib.group(b.nl.gate(id).cell_group);
+    const auto big = static_cast<std::uint16_t>(group.size_count() - 1);
+    const liberty::Cell& cell = b.lib.cell_for(b.nl.gate(id).cell_group, big);
+    const sta::NodeMoments what_if = eng.run_with_candidate(id, cell);
+
+    b.nl.gate(id).size_index = big;
+    b.ctx->update();
+    sta::NodeMoments committed;
+    (void)Engine(*b.ctx).run(&committed);
+    // The what-if reuses snapshot slews, so allow a modest tolerance.
+    EXPECT_NEAR(what_if.mean_ps, committed.mean_ps, 0.08 * committed.mean_ps);
+    return;
+  }
+  FAIL();
+}
+
+TEST(Engine, DownstreamOfPoDriversIsZeroOrSideLoad) {
+  Bench b(circuits::make_ripple_adder(4));
+  const Engine eng(*b.ctx);
+  const auto down = eng.compute_downstream();
+  for (const auto& po : b.nl.outputs()) {
+    // A pure PO driver (no gate fanouts) has zero downstream.
+    if (b.nl.gate(po.driver).fanouts.empty()) {
+      EXPECT_DOUBLE_EQ(down[po.driver].mean_ps, 0.0);
+      EXPECT_DOUBLE_EQ(down[po.driver].sigma_ps, 0.0);
+    }
+  }
+}
+
+TEST(Engine, DownstreamOnChainIsSuffixSum) {
+  Netlist nl("chain");
+  GateId prev = nl.add_input("a");
+  std::vector<GateId> gates;
+  for (int i = 0; i < 6; ++i) {
+    prev = nl.add_gate(netlist::GateFunc::kInv, {prev});
+    gates.push_back(prev);
+  }
+  nl.add_output("y", prev);
+  Bench b(std::move(nl));
+  const Engine eng(*b.ctx);
+  const auto down = eng.compute_downstream();
+  // Walking backwards, downstream mean accumulates each arc delay.
+  double expect = 0.0;
+  for (auto it = b.ctx->topo_order().rbegin(); it != b.ctx->topo_order().rend(); ++it) {
+    if (!b.ctx->has_cell(*it)) continue;
+    EXPECT_NEAR(down[*it].mean_ps, expect, 1e-9);
+    expect += b.ctx->arc_delay_ps(*it, 0);
+  }
+}
+
+TEST(Engine, ArrivalPlusDownstreamIsPathInvariantOnChain) {
+  Netlist nl("chain");
+  GateId prev = nl.add_input("a");
+  for (int i = 0; i < 8; ++i) prev = nl.add_gate(netlist::GateFunc::kInv, {prev});
+  nl.add_output("y", prev);
+  Bench b(std::move(nl));
+  const Engine eng(*b.ctx);
+  sta::NodeMoments circuit;
+  const auto arrival = eng.run(&circuit);
+  const auto down = eng.compute_downstream();
+  for (GateId id = 0; id < b.nl.node_count(); ++id) {
+    if (!b.ctx->has_cell(id)) continue;
+    EXPECT_NEAR(arrival[id].mean_ps + down[id].mean_ps, circuit.mean_ps, 1e-6);
+  }
+}
+
+TEST(Engine, SubcircuitStatusQuoConsistent) {
+  Bench b(circuits::make_cla_adder(8));
+  const Engine eng(*b.ctx);
+  const auto full = ssta::run_fullssta(*b.ctx);
+  const auto down = eng.compute_downstream();
+
+  // Scoring the *current* cell must equal scoring through the projections
+  // without any perturbation — and must never be negative or absurd.
+  for (GateId id = 0; id < b.nl.node_count(); ++id) {
+    if (!b.ctx->has_cell(id)) continue;
+    const auto sc = netlist::extract_subcircuit(b.nl, id, 2, 2);
+    const SubcircuitCost cost =
+        eng.evaluate_candidate(sc, full.node, down, id, b.ctx->cell(id), 3.0);
+    EXPECT_GT(cost.cost, 0.0);
+    EXPECT_GT(cost.worst_mean_ps, 0.0);
+    EXPECT_GE(cost.worst_sigma_ps, 0.0);
+    EXPECT_NEAR(cost.cost, cost.worst_mean_ps + 3.0 * cost.worst_sigma_ps, 1e-9);
+  }
+}
+
+TEST(Engine, LambdaScalesCost) {
+  Bench b(circuits::make_ripple_adder(4));
+  const Engine eng(*b.ctx);
+  const auto full = ssta::run_fullssta(*b.ctx);
+  const auto down = eng.compute_downstream();
+  const GateId id = b.nl.outputs()[0].driver;
+  const auto sc = netlist::extract_subcircuit(b.nl, id, 2, 2);
+  const double c0 =
+      eng.evaluate_candidate(sc, full.node, down, id, b.ctx->cell(id), 0.0).cost;
+  const double c9 =
+      eng.evaluate_candidate(sc, full.node, down, id, b.ctx->cell(id), 9.0).cost;
+  EXPECT_GT(c9, c0);
+}
+
+TEST(Engine, DominanceThresholdOptionRespected) {
+  // With an absurdly large threshold, no early-outs occur; results should
+  // still be close to the default (the approximation is smooth).
+  Bench b(circuits::make_cla_adder(8));
+  EngineOptions no_shortcut;
+  no_shortcut.dominance_threshold = 1e9;
+  sta::NodeMoments a, c;
+  (void)Engine(*b.ctx).run(&a);
+  (void)Engine(*b.ctx, no_shortcut).run(&c);
+  EXPECT_NEAR(a.mean_ps, c.mean_ps, 0.01 * c.mean_ps);
+}
+
+}  // namespace
+}  // namespace statsizer::fassta

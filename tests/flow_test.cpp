@@ -1,0 +1,127 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "bench_format/bench_writer.h"
+#include "circuits/generators.h"
+#include "core/flow.h"
+#include "sta/dsta.h"
+
+namespace statsizer::core {
+namespace {
+
+TEST(Flow, LoadUnknownCircuitFails) {
+  Flow flow;
+  EXPECT_FALSE(flow.load_table1("c17").ok());
+  EXPECT_FALSE(flow.has_circuit());
+}
+
+TEST(Flow, LoadTable1Circuit) {
+  Flow flow;
+  ASSERT_TRUE(flow.load_table1("c432").ok());
+  EXPECT_TRUE(flow.has_circuit());
+  EXPECT_EQ(flow.netlist().name(), "c432");
+  EXPECT_GT(flow.netlist().logic_gate_count(), 100u);
+}
+
+TEST(Flow, AnalyzeRequiresCircuit) {
+  Flow flow;
+  EXPECT_THROW((void)flow.analyze(), std::logic_error);
+  EXPECT_THROW((void)flow.run_baseline(), std::logic_error);
+  EXPECT_THROW((void)flow.optimize(3.0), std::logic_error);
+}
+
+TEST(Flow, LoadBenchFileRoundTrip) {
+  const auto nl = circuits::make_ripple_adder(6);
+  const std::string path = ::testing::TempDir() + "/rca6.bench";
+  ASSERT_TRUE(bench_format::write_bench_file(nl, path).ok());
+
+  Flow flow;
+  ASSERT_TRUE(flow.load_bench_file(path).ok());
+  EXPECT_EQ(flow.netlist().inputs().size(), nl.inputs().size());
+  EXPECT_EQ(flow.netlist().outputs().size(), nl.outputs().size());
+  std::remove(path.c_str());
+}
+
+TEST(Flow, EndToEndShapeOnC432) {
+  Flow flow;
+  ASSERT_TRUE(flow.load_table1("c432").ok());
+  const auto baseline = flow.run_baseline();
+  EXPECT_LE(baseline.final_arrival_ps, baseline.initial_arrival_ps + 1e-9);
+
+  const opt::CircuitStats original = flow.analyze();
+  EXPECT_GT(original.mean_ps, 0.0);
+  EXPECT_GT(original.sigma_ps, 0.0);
+  EXPECT_GT(original.area_um2, 0.0);
+  // Original sigma/mu lands in a plausible band for a shallow circuit.
+  EXPECT_GT(original.sigma_over_mu(), 0.01);
+  EXPECT_LT(original.sigma_over_mu(), 0.25);
+
+  const OptimizationRecord rec = flow.optimize(9.0);
+  // The headline effect: sigma drops, area rises, mean stays in a tight band.
+  EXPECT_LT(rec.sigma_change, -0.05);
+  EXPECT_GT(rec.area_change, 0.0);
+  EXPECT_LT(std::abs(rec.mean_change), 0.25);
+  EXPECT_NEAR(rec.before.mean_ps, original.mean_ps, 1e-6);
+  // Record is self-consistent with a fresh analysis.
+  const opt::CircuitStats after = flow.analyze();
+  EXPECT_NEAR(rec.after.sigma_ps, after.sigma_ps, 1e-9);
+  EXPECT_GT(rec.runtime_seconds, 0.0);
+  // The output pdf in the record reflects the optimized circuit.
+  EXPECT_NEAR(rec.output_pdf.mean(), after.mean_ps, 1e-9);
+}
+
+TEST(Flow, LambdaZeroDegeneratesToMeanOptimization) {
+  Flow flow;
+  ASSERT_TRUE(flow.load_table1("alu2").ok());
+  (void)flow.run_baseline();
+  const auto before = flow.analyze();
+  const OptimizationRecord rec = flow.optimize(0.0);
+  // Mean never increases under a pure-mean objective.
+  EXPECT_LE(rec.after.mean_ps, before.mean_ps + 1e-6);
+}
+
+TEST(Flow, CustomVariationParamsFlowThrough) {
+  FlowOptions options;
+  options.variation.proportional_coeff = 0.05;  // nearly variation-free
+  options.variation.random_floor_ps = 0.1;
+  Flow quiet(options);
+  ASSERT_TRUE(quiet.load_table1("alu2").ok());
+  (void)quiet.run_baseline();
+
+  Flow noisy;  // defaults: strong variation
+  ASSERT_TRUE(noisy.load_table1("alu2").ok());
+  (void)noisy.run_baseline();
+
+  EXPECT_LT(quiet.analyze().sigma_over_mu(), noisy.analyze().sigma_over_mu());
+}
+
+TEST(Flow, OptimizeWithOverrides) {
+  Flow flow;
+  ASSERT_TRUE(flow.load_table1("alu2").ok());
+  (void)flow.run_baseline();
+  opt::StatisticalSizerOptions overrides;
+  overrides.max_iterations = 1;
+  const OptimizationRecord rec = flow.optimize(9.0, &overrides);
+  EXPECT_LE(rec.iterations, 1u);
+  EXPECT_DOUBLE_EQ(rec.lambda, 9.0);
+}
+
+TEST(Flow, LoadReplacesCircuit) {
+  Flow flow;
+  ASSERT_TRUE(flow.load_table1("alu2").ok());
+  const std::size_t first = flow.netlist().logic_gate_count();
+  ASSERT_TRUE(flow.load_table1("c432").ok());
+  EXPECT_NE(flow.netlist().logic_gate_count(), first);
+  EXPECT_EQ(flow.netlist().name(), "c432");
+}
+
+TEST(Flow, LibraryIsFinalized) {
+  Flow flow;
+  EXPECT_GE(flow.library().groups().size(), 19u);
+  EXPECT_TRUE(flow.library().find_cell("INV_X1").has_value());
+}
+
+}  // namespace
+}  // namespace statsizer::core

@@ -1,0 +1,206 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pdf/discrete_pdf.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+
+namespace statsizer::pdf {
+namespace {
+
+TEST(DiscretePdf, PointMass) {
+  const DiscretePdf p = DiscretePdf::point(42.0);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_DOUBLE_EQ(p.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(p.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(41.9), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(42.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 42.0);
+}
+
+TEST(DiscretePdf, NormalDiscretizationMoments) {
+  for (const std::size_t samples : {7u, 13u, 25u}) {
+    const DiscretePdf p = DiscretePdf::normal(100.0, 10.0, samples);
+    EXPECT_NEAR(p.mean(), 100.0, 0.05) << samples;
+    // Discretization slightly reshapes the tails; variance within a few %.
+    EXPECT_NEAR(p.stddev(), 10.0, 0.5) << samples;
+    double total = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) total += p.mass_at(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(DiscretePdf, NormalZeroSigmaIsPoint) {
+  EXPECT_TRUE(DiscretePdf::normal(5.0, 0.0).is_point());
+  EXPECT_THROW(DiscretePdf::normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(DiscretePdf, FromMassesNormalizes) {
+  const DiscretePdf p = DiscretePdf::from_masses(0.0, 1.0, {1.0, 1.0, 2.0});
+  EXPECT_NEAR(p.mass_at(2), 0.5, 1e-12);
+  EXPECT_THROW(DiscretePdf::from_masses(0, 1, {}), std::invalid_argument);
+  EXPECT_THROW(DiscretePdf::from_masses(0, 1, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(DiscretePdf::from_masses(0, 1, {1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(DiscretePdf, CdfQuantileInverse) {
+  const DiscretePdf p = DiscretePdf::normal(0.0, 1.0, 41);
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    const double x = p.quantile(q);
+    EXPECT_NEAR(p.cdf(x), q, 0.02) << q;
+  }
+  // Median of a symmetric distribution is its mean.
+  EXPECT_NEAR(p.quantile(0.5), 0.0, 0.05);
+}
+
+TEST(DiscretePdf, ShiftMovesMeanOnly) {
+  const DiscretePdf p = DiscretePdf::normal(10.0, 2.0, 13);
+  const DiscretePdf q = p.shifted(5.0);
+  EXPECT_NEAR(q.mean(), p.mean() + 5.0, 1e-12);
+  EXPECT_NEAR(q.variance(), p.variance(), 1e-12);
+}
+
+TEST(DiscretePdf, ResamplePreservesMean) {
+  const DiscretePdf p = DiscretePdf::normal(50.0, 7.0, 41);
+  const DiscretePdf q = p.resampled(11);
+  EXPECT_EQ(q.size(), 11u);
+  EXPECT_NEAR(q.mean(), p.mean(), 1e-9);
+  EXPECT_NEAR(q.stddev(), p.stddev(), 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// sum
+// ---------------------------------------------------------------------------
+
+TEST(Sum, MomentsAreExact) {
+  // This is the load-bearing property for deep circuits: sum() pins its
+  // first two moments to the analytically exact values.
+  const DiscretePdf a = DiscretePdf::normal(100.0, 5.0, 13);
+  const DiscretePdf b = DiscretePdf::normal(40.0, 12.0, 13);
+  const DiscretePdf s = sum(a, b, 13);
+  EXPECT_NEAR(s.mean(), a.mean() + b.mean(), 1e-9);
+  EXPECT_NEAR(s.variance(), a.variance() + b.variance(), 1e-6);
+}
+
+TEST(Sum, WithPointIsShift) {
+  const DiscretePdf a = DiscretePdf::normal(10.0, 2.0, 13);
+  const DiscretePdf s = sum(a, DiscretePdf::point(5.0), 13);
+  EXPECT_NEAR(s.mean(), 15.0, 1e-12);
+  EXPECT_NEAR(s.variance(), a.variance(), 1e-12);
+}
+
+TEST(Sum, Commutative) {
+  const DiscretePdf a = DiscretePdf::normal(10.0, 2.0, 13);
+  const DiscretePdf b = DiscretePdf::normal(30.0, 6.0, 13);
+  const DiscretePdf s1 = sum(a, b, 13);
+  const DiscretePdf s2 = sum(b, a, 13);
+  EXPECT_NEAR(s1.mean(), s2.mean(), 1e-9);
+  EXPECT_NEAR(s1.variance(), s2.variance(), 1e-9);
+}
+
+TEST(Sum, DeepChainDoesNotInflateVariance) {
+  // Regression test for the compounding-rebinning-variance bug: summing 100
+  // gate pdfs keeps both moments at their analytic values.
+  DiscretePdf acc = DiscretePdf::point(0.0);
+  double mean = 0.0;
+  double var = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double d = 30.0 + (i % 7);
+    const double s = 3.0 + 0.1 * (i % 5);
+    acc = sum(acc, DiscretePdf::normal(d, s, 13), 13);
+    mean += d;
+    var += s * s;
+  }
+  EXPECT_NEAR(acc.mean(), mean, 1e-6 * mean);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(var), 1e-3 * std::sqrt(var));
+}
+
+// ---------------------------------------------------------------------------
+// max
+// ---------------------------------------------------------------------------
+
+TEST(Max, DominantInputPassesThrough) {
+  const DiscretePdf a = DiscretePdf::normal(100.0, 3.0, 13);
+  const DiscretePdf b = DiscretePdf::normal(10.0, 3.0, 13);
+  const DiscretePdf m = max(a, b, 13);
+  EXPECT_NEAR(m.mean(), a.mean(), 0.01);
+  EXPECT_NEAR(m.stddev(), a.stddev(), 0.05);
+}
+
+TEST(Max, EqualInputsMatchClarkTheory) {
+  // max of two iid N(0,1): mean = 1/sqrt(pi), var = 1 - 1/pi.
+  const DiscretePdf a = DiscretePdf::normal(0.0, 1.0, 41);
+  const DiscretePdf m = max(a, a, 41);
+  EXPECT_NEAR(m.mean(), 1.0 / std::sqrt(M_PI), 0.02);
+  EXPECT_NEAR(m.variance(), 1.0 - 1.0 / M_PI, 0.02);
+}
+
+TEST(Max, AgainstMonteCarlo) {
+  const DiscretePdf a = DiscretePdf::normal(50.0, 8.0, 21);
+  const DiscretePdf b = DiscretePdf::normal(55.0, 4.0, 21);
+  const DiscretePdf m = max(a, b, 21);
+
+  util::Rng rng(31);
+  util::RunningStats mc;
+  for (int i = 0; i < 200000; ++i) {
+    mc.add(std::max(rng.normal(50.0, 8.0), rng.normal(55.0, 4.0)));
+  }
+  EXPECT_NEAR(m.mean(), mc.mean(), 0.15);
+  EXPECT_NEAR(m.stddev(), mc.stddev(), 0.15);
+}
+
+TEST(Max, WithPointClips) {
+  const DiscretePdf a = DiscretePdf::normal(0.0, 1.0, 21);
+  const DiscretePdf m = max(a, DiscretePdf::point(0.0), 21);
+  // max(N(0,1), 0): mean = phi(0) = 0.3989, with an atom of mass 0.5 at 0.
+  // Moment matching trades exact support for exact moments, so the grid may
+  // undershoot the true support by a fraction of one bin, and the atom is
+  // smeared across one bin width. The upper quantiles are unaffected:
+  // P(X <= x) = Phi(x) for x > 0, so quantile(0.75) = 0.674.
+  EXPECT_NEAR(m.mean(), 0.3989, 0.02);
+  EXPECT_GE(m.min_value(), -m.step());
+  EXPECT_NEAR(m.quantile(0.75), 0.674, 0.25);
+}
+
+TEST(Max, MonotoneInShift) {
+  const DiscretePdf a = DiscretePdf::normal(40.0, 5.0, 13);
+  const DiscretePdf b = DiscretePdf::normal(42.0, 5.0, 13);
+  double prev = 0.0;
+  for (double shift = 0.0; shift <= 20.0; shift += 2.0) {
+    const double m = max(a, b.shifted(shift), 13).mean();
+    EXPECT_GE(m, prev - 1e-9);
+    prev = m;
+  }
+}
+
+TEST(Max, FoldOverManyEqualPathsConcentrates) {
+  // max over n iid variables: mean grows, sigma shrinks.
+  const DiscretePdf base = DiscretePdf::normal(100.0, 10.0, 21);
+  DiscretePdf acc = base;
+  double prev_mean = acc.mean();
+  double prev_sigma = acc.stddev();
+  for (int i = 0; i < 6; ++i) {
+    acc = max(acc, base, 21);
+    EXPECT_GT(acc.mean(), prev_mean);
+    EXPECT_LT(acc.stddev(), prev_sigma + 1e-9);
+    prev_mean = acc.mean();
+    prev_sigma = acc.stddev();
+  }
+  EXPECT_GT(acc.mean(), 110.0);  // E[max of 7 iid] ~ mu + 1.35 sigma
+}
+
+TEST(Max, SampleCountInsensitivity) {
+  // The paper used 10-15 samples; results should be stable in that band.
+  const DiscretePdf a10 = DiscretePdf::normal(50.0, 6.0, 10);
+  const DiscretePdf b10 = DiscretePdf::normal(52.0, 3.0, 10);
+  const DiscretePdf a15 = DiscretePdf::normal(50.0, 6.0, 15);
+  const DiscretePdf b15 = DiscretePdf::normal(52.0, 3.0, 15);
+  const DiscretePdf m10 = max(a10, b10, 10);
+  const DiscretePdf m15 = max(a15, b15, 15);
+  EXPECT_NEAR(m10.mean(), m15.mean(), 0.25);
+  EXPECT_NEAR(m10.stddev(), m15.stddev(), 0.25);
+}
+
+}  // namespace
+}  // namespace statsizer::pdf

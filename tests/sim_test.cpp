@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "circuits/generators.h"
+#include "netlist/sim.h"
+
+namespace statsizer::netlist {
+namespace {
+
+TEST(Sim, EveryPrimitiveFunction) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId s = nl.add_input("s");
+  struct Case {
+    GateFunc func;
+    std::vector<GateId> fanins;
+    // expected outputs for (a,b,s) = rows of the truth table 000..111,
+    // packed LSB-first into a byte.
+    unsigned expected;
+  };
+  // Bit i of the input words: a = i&1, b = i&2, s = i&4.
+  const std::vector<Case> cases = {
+      {GateFunc::kBuf, {a}, 0b10101010},
+      {GateFunc::kInv, {a}, 0b01010101},
+      {GateFunc::kAnd, {a, b}, 0b10001000},
+      {GateFunc::kNand, {a, b}, 0b01110111},
+      {GateFunc::kOr, {a, b}, 0b11101110},
+      {GateFunc::kNor, {a, b}, 0b00010001},
+      {GateFunc::kXor, {a, b}, 0b01100110},
+      {GateFunc::kXnor, {a, b}, 0b10011001},
+      {GateFunc::kAoi21, {a, b, s}, 0b00000111},   // !((a&b) | s)
+      {GateFunc::kOai21, {a, b, s}, 0b00011111 ^ 0b00001110},  // computed below
+      {GateFunc::kMux2, {a, b, s}, 0b11001010},    // s ? b : a
+  };
+  std::vector<GateId> outs;
+  for (const auto& c : cases) {
+    outs.push_back(nl.add_gate(c.func, std::span<const GateId>(c.fanins)));
+  }
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    nl.add_output("o" + std::to_string(i), outs[i]);
+  }
+
+  const std::vector<std::uint64_t> words = {0b10101010, 0b11001100, 0b11110000};
+  const auto result = Simulator(nl).eval(words);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (cases[i].func == GateFunc::kOai21) {
+      // !((a|b) & s): truth rows — s=0 -> 1; s=1 -> !(a|b).
+      unsigned expect = 0;
+      for (unsigned row = 0; row < 8; ++row) {
+        const bool av = row & 1, bv = row & 2, sv = row & 4;
+        if (!((av || bv) && sv)) expect |= 1u << row;
+      }
+      EXPECT_EQ(result[i] & 0xFF, expect) << "OAI21";
+    } else {
+      EXPECT_EQ(result[i] & 0xFF, cases[i].expected)
+          << func_name(cases[i].func);
+    }
+  }
+}
+
+TEST(Sim, Constants) {
+  Netlist nl;
+  (void)nl.add_input("a");
+  const GateId zero = nl.add_gate(GateFunc::kConst0, {});
+  const GateId one = nl.add_gate(GateFunc::kConst1, {});
+  nl.add_output("z", zero);
+  nl.add_output("o", one);
+  const std::vector<std::uint64_t> words = {0xDEADBEEF};
+  const auto r = Simulator(nl).eval(words);
+  EXPECT_EQ(r[0], 0u);
+  EXPECT_EQ(r[1], ~0ULL);
+}
+
+TEST(Sim, EvalSingle) {
+  circuits::Builder b("t");
+  const GateId x = b.input("x");
+  const GateId y = b.input("y");
+  b.output("o", b.xor_(x, y));
+  const Netlist nl = b.take();
+  EXPECT_TRUE(eval_single(nl, {true, false})[0]);
+  EXPECT_FALSE(eval_single(nl, {true, true})[0]);
+}
+
+TEST(Sim, WrongInputCountThrows) {
+  const Netlist nl = [] {
+    Netlist n;
+    (void)n.add_input("a");
+    (void)n.add_input("b");
+    return n;
+  }();
+  const std::vector<std::uint64_t> too_few = {0};
+  EXPECT_THROW((void)Simulator(nl).eval(too_few), std::invalid_argument);
+}
+
+TEST(Sim, ProbablyEquivalentDetectsEquality) {
+  // Two structurally different forms of the same function:
+  // (a&b)|c  vs  !(!(a&b) & !c)   (De Morgan).
+  circuits::Builder b1("f");
+  {
+    const GateId a = b1.input("a"), b = b1.input("b"), c = b1.input("c");
+    b1.output("y", b1.or_(b1.and_(a, b), c));
+  }
+  circuits::Builder b2("f");
+  {
+    const GateId a = b2.input("a"), b = b2.input("b"), c = b2.input("c");
+    b2.output("y", b2.not_(b2.and_(b2.nand_(a, b), b2.not_(c))));
+  }
+  EXPECT_TRUE(probably_equivalent(b1.netlist(), b2.netlist(), 123));
+}
+
+TEST(Sim, ProbablyEquivalentDetectsDifference) {
+  circuits::Builder b1("f");
+  {
+    const GateId a = b1.input("a"), b = b1.input("b");
+    b1.output("y", b1.and_(a, b));
+  }
+  circuits::Builder b2("f");
+  {
+    const GateId a = b2.input("a"), b = b2.input("b");
+    b2.output("y", b2.or_(a, b));
+  }
+  EXPECT_FALSE(probably_equivalent(b1.netlist(), b2.netlist(), 123));
+}
+
+TEST(Sim, ProbablyEquivalentChecksInterface) {
+  circuits::Builder b1("f");
+  b1.output("y", b1.input("a"));
+  circuits::Builder b2("f");
+  b2.output("z", b2.input("a"));  // different output name
+  EXPECT_FALSE(probably_equivalent(b1.netlist(), b2.netlist(), 1));
+}
+
+}  // namespace
+}  // namespace statsizer::netlist

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "circuits/generators.h"
+#include "liberty/synthetic.h"
+#include "sta/dsta.h"
+#include "sta/graph.h"
+#include "techmap/mapper.h"
+#include "variation/model.h"
+
+namespace statsizer::sta {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+struct Fixture {
+  Netlist nl;
+  liberty::Library lib = liberty::build_synthetic_90nm();
+  variation::VariationModel var;
+
+  explicit Fixture(Netlist n) : nl(std::move(n)) {
+    const Status s = techmap::map_to_library(nl, lib);
+    if (!s.ok()) throw std::logic_error(s.message());
+  }
+};
+
+TEST(TimingContext, LoadsAreConsumerPinCapsPlusPoLoad) {
+  Fixture f(circuits::make_ripple_adder(4));
+  TimingOptions opts;
+  opts.primary_output_load_ff = 5.0;
+  TimingContext ctx(f.nl, f.lib, f.var, opts);
+
+  for (GateId id = 0; id < f.nl.node_count(); ++id) {
+    double expect = opts.primary_output_load_ff * f.nl.gate(id).po_count;
+    for (const GateId consumer : f.nl.gate(id).fanouts) {
+      const auto& cg = f.nl.gate(consumer);
+      const liberty::Cell& cell = f.lib.cell_for(cg.cell_group, cg.size_index);
+      for (std::size_t i = 0; i < cg.fanins.size(); ++i) {
+        if (cg.fanins[i] == id) expect += cell.input_cap_ff(i);
+      }
+    }
+    EXPECT_NEAR(ctx.load_ff(id), expect, 1e-9) << f.nl.gate(id).name;
+  }
+}
+
+TEST(TimingContext, AreaIsSumOfCellAreas) {
+  Fixture f(circuits::make_cla_adder(8));
+  TimingContext ctx(f.nl, f.lib, f.var);
+  double expect = 0.0;
+  for (GateId id = 0; id < f.nl.node_count(); ++id) {
+    if (ctx.has_cell(id)) expect += ctx.cell(id).area_um2;
+  }
+  EXPECT_NEAR(ctx.area_um2(), expect, 1e-9);
+}
+
+TEST(TimingContext, ResizeChangesLoadOfDrivers) {
+  Fixture f(circuits::make_ripple_adder(4));
+  TimingContext ctx(f.nl, f.lib, f.var);
+  // Find a gate with a logic-gate driver.
+  for (GateId id = 0; id < f.nl.node_count(); ++id) {
+    if (!ctx.has_cell(id)) continue;
+    for (const GateId d : f.nl.gate(id).fanins) {
+      if (!ctx.has_cell(d)) continue;
+      const double before = ctx.load_ff(d);
+      const auto& group = f.lib.group(f.nl.gate(id).cell_group);
+      const liberty::Cell& big = f.lib.cell_for(f.nl.gate(id).cell_group,
+                                                static_cast<std::uint16_t>(group.size_count() - 1));
+      const double what_if = ctx.load_ff_with_resize(d, id, big);
+      EXPECT_GT(what_if, before);
+      // Committing the resize matches the what-if value.
+      f.nl.gate(id).size_index = static_cast<std::uint16_t>(group.size_count() - 1);
+      ctx.update();
+      EXPECT_NEAR(ctx.load_ff(d), what_if, 1e-9);
+      return;
+    }
+  }
+  FAIL() << "no gate-driven gate found";
+}
+
+TEST(TimingContext, SlewsPropagate) {
+  Fixture f(circuits::make_ripple_adder(8));
+  TimingOptions opts;
+  opts.primary_input_slew_ps = 20.0;
+  TimingContext ctx(f.nl, f.lib, f.var, opts);
+  for (const GateId id : f.nl.inputs()) {
+    EXPECT_DOUBLE_EQ(ctx.slew_ps(id), 20.0);
+  }
+  // Gates have non-trivial output slews.
+  for (GateId id = 0; id < f.nl.node_count(); ++id) {
+    if (ctx.has_cell(id)) EXPECT_GT(ctx.slew_ps(id), 0.0);
+  }
+}
+
+TEST(TimingContext, SigmasFollowVariationModel) {
+  Fixture f(circuits::make_ripple_adder(4));
+  TimingContext ctx(f.nl, f.lib, f.var);
+  for (GateId id = 0; id < f.nl.node_count(); ++id) {
+    if (!ctx.has_cell(id)) continue;
+    for (std::size_t i = 0; i < f.nl.gate(id).fanins.size(); ++i) {
+      EXPECT_NEAR(ctx.arc_sigma_ps(id, i),
+                  f.var.sigma_ps(ctx.arc_delay_ps(id, i), ctx.drive(id)), 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// deterministic STA
+// ---------------------------------------------------------------------------
+
+TEST(Dsta, ChainArrivalIsSumOfDelays) {
+  Netlist nl("chain");
+  GateId prev = nl.add_input("a");
+  for (int i = 0; i < 5; ++i) prev = nl.add_gate(netlist::GateFunc::kInv, {prev});
+  nl.add_output("y", prev);
+  Fixture f(std::move(nl));
+  TimingContext ctx(f.nl, f.lib, f.var);
+
+  const DstaResult r = run_dsta(ctx);
+  double sum = 0.0;
+  for (const GateId id : ctx.topo_order()) {
+    if (ctx.has_cell(id)) sum += ctx.arc_delay_ps(id, 0);
+  }
+  EXPECT_NEAR(r.max_arrival_ps, sum, 1e-9);
+  // The critical path covers the whole chain: PI + 5 inverters.
+  EXPECT_EQ(r.critical_path.size(), 6u);
+}
+
+TEST(Dsta, ArrivalIsMaxOverFanins) {
+  Fixture f(circuits::make_cla_adder(8));
+  TimingContext ctx(f.nl, f.lib, f.var);
+  const DstaResult r = run_dsta(ctx);
+  for (GateId id = 0; id < f.nl.node_count(); ++id) {
+    const auto& g = f.nl.gate(id);
+    if (g.fanins.empty()) continue;
+    double expect = 0.0;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      expect = std::max(expect, r.arrival_ps[g.fanins[i]] + ctx.arc_delay_ps(id, i));
+    }
+    EXPECT_NEAR(r.arrival_ps[id], expect, 1e-9);
+  }
+}
+
+TEST(Dsta, SlackConsistency) {
+  Fixture f(circuits::make_cla_adder(8));
+  TimingContext ctx(f.nl, f.lib, f.var);
+  const DstaResult r = run_dsta(ctx);
+  // Normalized required times: zero worst slack; no positive arrival beyond
+  // required on the critical path.
+  EXPECT_NEAR(r.wns_ps, 0.0, 1e-9);
+  for (const GateId id : r.critical_path) {
+    EXPECT_NEAR(r.slack_ps[id], 0.0, 1e-9);
+  }
+  // With a generous clock, everything has positive slack.
+  const DstaResult relaxed = run_dsta(ctx, r.max_arrival_ps + 100.0);
+  EXPECT_NEAR(relaxed.wns_ps, 100.0, 1e-9);
+}
+
+TEST(Dsta, CriticalPathIsConnected) {
+  Fixture f(circuits::make_cla_adder(16));
+  TimingContext ctx(f.nl, f.lib, f.var);
+  const DstaResult r = run_dsta(ctx);
+  ASSERT_GE(r.critical_path.size(), 2u);
+  for (std::size_t i = 1; i < r.critical_path.size(); ++i) {
+    const auto& fanins = f.nl.gate(r.critical_path[i]).fanins;
+    EXPECT_NE(std::find(fanins.begin(), fanins.end(), r.critical_path[i - 1]),
+              fanins.end());
+  }
+  // Starts at a PI, ends at the critical output.
+  EXPECT_TRUE(f.nl.is_input(r.critical_path.front()));
+  EXPECT_EQ(r.critical_path.back(), r.critical_output);
+}
+
+TEST(Dsta, UpsizingCriticalGateReducesDelayOfItsStage) {
+  Fixture f(circuits::make_ripple_adder(8));
+  TimingContext ctx(f.nl, f.lib, f.var);
+  const DstaResult before = run_dsta(ctx);
+  // Upsize the middle gate of the critical path.
+  const GateId mid = before.critical_path[before.critical_path.size() / 2];
+  ASSERT_TRUE(ctx.has_cell(mid));
+  const double delay_before = ctx.gate_delay_ps(mid);
+  f.nl.gate(mid).size_index = 3;
+  ctx.update();
+  EXPECT_LT(ctx.gate_delay_ps(mid), delay_before);
+}
+
+}  // namespace
+}  // namespace statsizer::sta

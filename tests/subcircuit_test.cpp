@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "circuits/generators.h"
+#include "netlist/subcircuit.h"
+#include "netlist/topo.h"
+
+namespace statsizer::netlist {
+namespace {
+
+/// a -> g1 -> g2 -> g3 -> g4 -> g5 (chain), PO at g5.
+Netlist chain(unsigned length) {
+  Netlist nl("chain");
+  GateId prev = nl.add_input("a");
+  for (unsigned i = 0; i < length; ++i) {
+    prev = nl.add_gate(GateFunc::kInv, {prev}, "g" + std::to_string(i + 1));
+  }
+  nl.add_output("y", prev);
+  return nl;
+}
+
+TEST(Subcircuit, ChainWindowDepths) {
+  const Netlist nl = chain(7);
+  const GateId center = nl.find("g4");
+  const Subcircuit sc = extract_subcircuit(nl, center, 2, 2);
+  // Members: g2, g3, g4, g5, g6.
+  EXPECT_EQ(sc.gates.size(), 5u);
+  EXPECT_TRUE(sc.member[nl.find("g2")]);
+  EXPECT_TRUE(sc.member[nl.find("g6")]);
+  EXPECT_FALSE(sc.member[nl.find("g1")]);
+  EXPECT_FALSE(sc.member[nl.find("g7")]);
+  // Boundary: g1 feeds g2.
+  ASSERT_EQ(sc.boundary_inputs.size(), 1u);
+  EXPECT_EQ(sc.boundary_inputs[0], nl.find("g1"));
+  // Output: g6 (feeds non-member g7).
+  ASSERT_EQ(sc.outputs.size(), 1u);
+  EXPECT_EQ(sc.outputs[0], nl.find("g6"));
+}
+
+TEST(Subcircuit, CenterAlwaysMember) {
+  const Netlist nl = chain(3);
+  const Subcircuit sc = extract_subcircuit(nl, nl.find("g2"), 0, 0);
+  EXPECT_EQ(sc.gates.size(), 1u);
+  EXPECT_EQ(sc.gates[0], nl.find("g2"));
+}
+
+TEST(Subcircuit, PrimaryInputsNeverMembers) {
+  const Netlist nl = chain(3);
+  const Subcircuit sc = extract_subcircuit(nl, nl.find("g1"), 3, 0);
+  EXPECT_FALSE(sc.member[nl.find("a")]);
+  // The PI is the boundary.
+  ASSERT_EQ(sc.boundary_inputs.size(), 1u);
+  EXPECT_EQ(sc.boundary_inputs[0], nl.find("a"));
+}
+
+TEST(Subcircuit, PoDriverIsOutput) {
+  const Netlist nl = chain(3);
+  const Subcircuit sc = extract_subcircuit(nl, nl.find("g3"), 1, 1);
+  // g3 drives the PO; it must be an output of the window.
+  EXPECT_NE(std::find(sc.outputs.begin(), sc.outputs.end(), nl.find("g3")),
+            sc.outputs.end());
+}
+
+TEST(Subcircuit, MembersAreTopologicallyOrdered) {
+  const Netlist nl = circuits::make_cla_adder(16);
+  const auto order = topological_order(nl);
+  std::vector<std::size_t> pos(nl.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+
+  // Pick an interior gate.
+  GateId center = kNoGate;
+  for (GateId id = 0; id < nl.node_count(); ++id) {
+    if (!nl.is_input(id) && !nl.gate(id).fanins.empty() && !nl.gate(id).fanouts.empty()) {
+      center = id;
+    }
+  }
+  ASSERT_NE(center, kNoGate);
+  const Subcircuit sc = extract_subcircuit(nl, center, 2, 2);
+  for (std::size_t i = 1; i < sc.gates.size(); ++i) {
+    EXPECT_LT(pos[sc.gates[i - 1]], pos[sc.gates[i]]);
+  }
+}
+
+TEST(Subcircuit, ClosureProperty) {
+  // Every fanin of a member is either a member or a boundary input.
+  const Netlist nl = circuits::make_cla_adder(8);
+  for (GateId center = 0; center < nl.node_count(); ++center) {
+    if (nl.is_input(center) || nl.is_constant(center)) continue;
+    const Subcircuit sc = extract_subcircuit(nl, center, 2, 2);
+    std::vector<bool> boundary(nl.node_count(), false);
+    for (GateId b : sc.boundary_inputs) boundary[b] = true;
+    for (GateId g : sc.gates) {
+      for (GateId f : nl.gate(g).fanins) {
+        EXPECT_TRUE(sc.member[f] || boundary[f])
+            << "gate " << nl.gate(g).name << " fanin " << nl.gate(f).name;
+      }
+    }
+  }
+}
+
+TEST(Subcircuit, EveryEscapeIsAnOutput) {
+  const Netlist nl = circuits::make_cla_adder(8);
+  for (GateId center = 0; center < nl.node_count(); ++center) {
+    if (nl.is_input(center) || nl.is_constant(center)) continue;
+    const Subcircuit sc = extract_subcircuit(nl, center, 2, 2);
+    std::vector<bool> is_output(nl.node_count(), false);
+    for (GateId o : sc.outputs) is_output[o] = true;
+    for (GateId g : sc.gates) {
+      bool escapes = nl.gate(g).po_count > 0 || nl.gate(g).fanouts.empty();
+      for (GateId consumer : nl.gate(g).fanouts) {
+        if (!sc.member[consumer]) escapes = true;
+      }
+      EXPECT_EQ(escapes, is_output[g]) << nl.gate(g).name;
+    }
+  }
+}
+
+TEST(Subcircuit, DepthBoundRespected) {
+  // No member farther than k edges from the center through the explored
+  // direction (checked on the chain where distance is unambiguous).
+  const Netlist nl = chain(12);
+  const Subcircuit sc = extract_subcircuit(nl, nl.find("g6"), 3, 2);
+  EXPECT_TRUE(sc.member[nl.find("g3")]);
+  EXPECT_FALSE(sc.member[nl.find("g2")]);
+  EXPECT_TRUE(sc.member[nl.find("g8")]);
+  EXPECT_FALSE(sc.member[nl.find("g9")]);
+}
+
+TEST(Subcircuit, InvalidCenterThrows) {
+  const Netlist nl = chain(2);
+  EXPECT_THROW(extract_subcircuit(nl, 999, 2, 2), std::out_of_range);
+  EXPECT_THROW(extract_subcircuit(nl, nl.find("a"), 2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace statsizer::netlist
