@@ -73,6 +73,32 @@ void BM_MonteCarlo1k(benchmark::State& state, const std::string& name) {
   }
 }
 
+/// Parallel Monte-Carlo scaling: state.range(0) worker threads, plus a
+/// one-shot check that every thread count reproduces the 1-thread result
+/// bitwise (counter-based per-sample RNG streams).
+void BM_MonteCarloThreads(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  ssta::MonteCarloOptions opt;
+  opt.samples = 4000;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+
+  ssta::MonteCarloOptions serial = opt;
+  serial.threads = 1;
+  const auto reference = ssta::run_monte_carlo(flow.timing(), serial);
+  const auto parallel = ssta::run_monte_carlo(flow.timing(), opt);
+  if (parallel.mean_ps != reference.mean_ps || parallel.sigma_ps != reference.sigma_ps ||
+      parallel.circuit_samples != reference.circuit_samples) {
+    state.SkipWithError("parallel Monte Carlo diverged from the serial reference");
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssta::run_monte_carlo(flow.timing(), opt));
+  }
+  state.SetLabel("mean=" + std::to_string(reference.mean_ps) +
+                 "ps sigma=" + std::to_string(reference.sigma_ps) + "ps");
+}
+
 void BM_TimingUpdate(benchmark::State& state, const std::string& name) {
   auto& flow = flow_for(name);
   for (auto _ : state) {
@@ -89,6 +115,13 @@ BENCHMARK_CAPTURE(BM_Fullssta, alu2, std::string("alu2"));
 BENCHMARK_CAPTURE(BM_Fullssta, c880, std::string("c880"));
 BENCHMARK_CAPTURE(BM_Canonical, c880, std::string("c880"));
 BENCHMARK_CAPTURE(BM_MonteCarlo1k, c880, std::string("c880"));
+BENCHMARK_CAPTURE(BM_MonteCarloThreads, c880, std::string("c880"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_TimingUpdate, c880, std::string("c880"));
 
 BENCHMARK_MAIN();

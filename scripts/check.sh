@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the full gtest suite through CTest.
+#
+#   scripts/check.sh             # RelWithDebInfo build + ctest
+#   scripts/check.sh --asan      # additionally run the fast tests under
+#                                # AddressSanitizer + UBSan
+#
+# Exits non-zero on the first failing step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" "${CTEST_EXTRA[@]}"
+}
+
+if [[ -n "${1:-}" && "${1}" != "--asan" ]]; then
+  echo "usage: scripts/check.sh [--asan]" >&2
+  exit 2
+fi
+
+CTEST_EXTRA=()
+run_suite build
+
+if [[ "${1:-}" == "--asan" ]]; then
+  # Sanitized pass over the fast tests (the long end-to-end flows are covered
+  # by the normal build; under ASan they would dominate the wall clock).
+  CTEST_EXTRA=(-E 'FlowRegression|Table1|Sizer')
+  run_suite build-asan -DSTATSIZER_SANITIZE=ON -DSTATSIZER_BUILD_BENCHES=OFF \
+    -DSTATSIZER_BUILD_EXAMPLES=OFF
+fi
+
+echo "check.sh: all green"

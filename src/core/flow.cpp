@@ -5,6 +5,7 @@
 
 #include "bench_format/bench_reader.h"
 #include "circuits/iscas_suite.h"
+#include "util/thread_pool.h"
 
 namespace statsizer::core {
 
@@ -125,6 +126,39 @@ OptimizationRecord Flow::optimize(double lambda,
   rec.runtime_seconds = std::chrono::duration<double>(t1 - t0).count();
   rec.output_pdf = full_analysis().output_pdf;
   return rec;
+}
+
+std::vector<MonteCarloJobResult> Flow::run_monte_carlo_batch(
+    const std::vector<MonteCarloJob>& jobs, std::size_t threads,
+    const FlowOptions& options) {
+  std::vector<MonteCarloJobResult> results(jobs.size());
+  // Chunk size 1: jobs are coarse-grained (seconds each) and heterogeneous,
+  // so per-job scheduling is what load-balances the pool.
+  util::parallel_for(jobs.size(), 1, threads,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t j = begin; j < end; ++j) {
+                         const MonteCarloJob& job = jobs[j];
+                         MonteCarloJobResult& out = results[j];
+                         // Per-job error isolation: one failing job must not
+                         // take down the other jobs' results.
+                         try {
+                           Flow flow(options);
+                           out.status = flow.load_table1(job.table1_name);
+                           if (!out.status.ok()) continue;
+                           (void)flow.run_baseline();
+                           if (job.lambda.has_value()) {
+                             out.record = flow.optimize(*job.lambda);
+                           }
+                           ssta::MonteCarloOptions mc = job.mc;
+                           mc.threads = 1;  // the pool parallelizes across jobs
+                           out.mc = ssta::run_monte_carlo(flow.timing(), mc);
+                         } catch (const std::exception& e) {
+                           out.status = Status::error(std::string("job failed: ") + e.what());
+                           out.record.reset();
+                         }
+                       }
+                     });
+  return results;
 }
 
 opt::CircuitStats Flow::analyze() const {

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "liberty/model.h"
 #include "liberty/synthetic.h"
@@ -26,6 +27,7 @@
 #include "pdf/discrete_pdf.h"
 #include "sta/graph.h"
 #include "ssta/fullssta.h"
+#include "ssta/monte_carlo.h"
 #include "techmap/mapper.h"
 #include "util/status.h"
 #include "variation/model.h"
@@ -66,6 +68,22 @@ struct OptimizationRecord {
   pdf::DiscretePdf output_pdf;
 };
 
+/// One unit of work for run_monte_carlo_batch: a Table-1 workload, an
+/// optional StatisticalGreedy lambda (nullopt = Monte-Carlo the baseline
+/// point), and the Monte-Carlo configuration for that circuit.
+struct MonteCarloJob {
+  std::string table1_name;
+  std::optional<double> lambda;
+  ssta::MonteCarloOptions mc;
+};
+
+struct MonteCarloJobResult {
+  Status status;  ///< load failure leaves mc/record empty
+  ssta::MonteCarloResult mc;
+  /// Present when the job requested an optimization lambda.
+  std::optional<OptimizationRecord> record;
+};
+
 class Flow {
  public:
   explicit Flow(FlowOptions options = {});
@@ -87,6 +105,17 @@ class Flow {
   /// call time. @p overrides tweaks the sizer beyond the lambda (optional).
   OptimizationRecord optimize(double lambda,
                               const opt::StatisticalSizerOptions* overrides = nullptr);
+
+  // -- batch analysis ---------------------------------------------------------
+  /// Evaluates many (circuit, lambda) points concurrently: each job gets its
+  /// own Flow (load_table1 -> run_baseline -> optional optimize) and a
+  /// Monte-Carlo run of the resulting circuit. Jobs execute on a thread pool
+  /// (@p threads; 0 = hardware concurrency) and each job's Monte Carlo runs
+  /// serially inside it to avoid oversubscription. Results are index-aligned
+  /// with @p jobs and deterministic for any thread count.
+  [[nodiscard]] static std::vector<MonteCarloJobResult> run_monte_carlo_batch(
+      const std::vector<MonteCarloJob>& jobs, std::size_t threads = 0,
+      const FlowOptions& options = {});
 
   // -- analysis ----------------------------------------------------------------
   /// FULLSSTA-based summary of the current state.

@@ -3,6 +3,12 @@
 // free (no independence approximation in the max, exact handling of
 // reconvergent fanout and of the global process variable) — the golden
 // reference the test suite validates FULLSSTA/FASSTA/canonical against.
+//
+// Sampling is embarrassingly parallel and the engine shards it across a
+// thread pool (options.threads). Every sample i draws from its own
+// counter-based RNG stream derived from (seed, i) — see util::stream_seed —
+// so results (mean, sigma, circuit_samples, per-node moments) are
+// bitwise-identical for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,9 @@ namespace statsizer::ssta {
 struct MonteCarloOptions {
   std::size_t samples = 2000;
   std::uint64_t seed = 12345;
+  /// Worker threads sharding the sample loop. 1 = serial on the calling
+  /// thread; 0 = hardware concurrency. Results are identical for any value.
+  std::size_t threads = 1;
   /// Also accumulate per-node arrival statistics (slower, more memory).
   bool per_node_stats = false;
 };

@@ -8,6 +8,23 @@
 
 namespace statsizer::util {
 
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Counter-based stream derivation: maps (seed, index) to an independent
+/// stream seed through two SplitMix64 rounds. Stream i depends only on
+/// (seed, i) — never on which thread or in what order it is drawn — which is
+/// what makes the parallel Monte-Carlo engine bitwise-deterministic for any
+/// thread count.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index) {
+  return splitmix64(splitmix64(seed) ^ splitmix64(index + 0x6a09e667f3bcc909ULL));
+}
+
 /// Deterministic RNG wrapper around std::mt19937_64.
 class Rng {
  public:

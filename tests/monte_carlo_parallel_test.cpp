@@ -1,0 +1,201 @@
+// Parallel Monte-Carlo SSTA: the sharded engine must be bitwise-identical to
+// the serial one for any thread count (counter-based per-sample RNG streams),
+// and its moments must track analytic expectations on a max-free circuit.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.h"
+#include "liberty/synthetic.h"
+#include "ssta/monte_carlo.h"
+#include "techmap/mapper.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace statsizer::ssta {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+struct Bench {
+  Netlist nl;
+  liberty::Library lib = liberty::build_synthetic_90nm();
+  variation::VariationModel var;
+  std::unique_ptr<sta::TimingContext> ctx;
+
+  explicit Bench(Netlist n, variation::VariationParams vp = {}) : nl(std::move(n)), var(vp) {
+    auto s = techmap::map_to_library(nl, lib);
+    if (!s.ok()) throw std::logic_error(s.message());
+    ctx = std::make_unique<sta::TimingContext>(nl, lib, var, sta::TimingOptions{});
+  }
+};
+
+Netlist inverter_chain(unsigned length) {
+  Netlist nl("chain");
+  GateId prev = nl.add_input("a");
+  for (unsigned i = 0; i < length; ++i) prev = nl.add_gate(netlist::GateFunc::kInv, {prev});
+  nl.add_output("y", prev);
+  return nl;
+}
+
+TEST(MonteCarloParallel, BitwiseIdenticalAcrossThreadCounts) {
+  Bench b(circuits::make_cla_adder(8));
+  MonteCarloOptions serial;
+  serial.samples = 3000;
+  serial.seed = 99;
+  serial.threads = 1;
+  serial.per_node_stats = true;
+  const auto ref = run_monte_carlo(*b.ctx, serial);
+
+  for (const std::size_t threads : {2u, 3u, 4u, 8u, 0u}) {
+    MonteCarloOptions opt = serial;
+    opt.threads = threads;
+    const auto r = run_monte_carlo(*b.ctx, opt);
+    EXPECT_EQ(r.circuit_samples, ref.circuit_samples) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.mean_ps, ref.mean_ps) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.sigma_ps, ref.sigma_ps) << "threads=" << threads;
+    ASSERT_EQ(r.node.size(), ref.node.size());
+    for (std::size_t i = 0; i < ref.node.size(); ++i) {
+      EXPECT_DOUBLE_EQ(r.node[i].mean_ps, ref.node[i].mean_ps) << "node " << i;
+      EXPECT_DOUBLE_EQ(r.node[i].sigma_ps, ref.node[i].sigma_ps) << "node " << i;
+    }
+  }
+}
+
+TEST(MonteCarloParallel, ThreadSweepMatchesAnalyticChainMoments) {
+  // An inverter chain has no max: circuit delay = sum of independent arc
+  // delays, so mean = sum of nominals and var = sum of arc variances. Mild
+  // variation keeps the sampling truncation (delay >= 5% of nominal) a
+  // > 4-sigma tail event, so the analytic Gaussian moments apply.
+  variation::VariationParams vp;
+  vp.proportional_coeff = 0.15;
+  Bench b(inverter_chain(20), vp);
+  double mean = 0.0;
+  double var = 0.0;
+  for (const GateId id : b.ctx->topo_order()) {
+    if (!b.ctx->has_cell(id)) continue;
+    mean += b.ctx->arc_delay_ps(id, 0);
+    var += b.ctx->arc_sigma_ps(id, 0) * b.ctx->arc_sigma_ps(id, 0);
+  }
+  const double sigma = std::sqrt(var);
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    MonteCarloOptions opt;
+    opt.samples = 20000;
+    opt.seed = 7;
+    opt.threads = threads;
+    const auto r = run_monte_carlo(*b.ctx, opt);
+    // 3-sigma statistical tolerance on the mean estimator plus 1% headroom
+    // for the truncation bias.
+    const double mean_tol = 3.0 * sigma / std::sqrt(double(opt.samples)) + 0.01 * mean;
+    EXPECT_NEAR(r.mean_ps, mean, mean_tol) << "threads=" << threads;
+    EXPECT_NEAR(r.sigma_ps, sigma, 0.05 * sigma) << "threads=" << threads;
+  }
+}
+
+TEST(MonteCarloParallel, SeedChangesSamples) {
+  Bench b(inverter_chain(5));
+  MonteCarloOptions a;
+  a.samples = 200;
+  a.seed = 1;
+  a.threads = 4;
+  MonteCarloOptions c = a;
+  c.seed = 2;
+  const auto ra = run_monte_carlo(*b.ctx, a);
+  const auto rc = run_monte_carlo(*b.ctx, c);
+  EXPECT_NE(ra.circuit_samples, rc.circuit_samples);
+}
+
+TEST(MonteCarloParallel, ZeroSamples) {
+  Bench b(inverter_chain(3));
+  MonteCarloOptions opt;
+  opt.samples = 0;
+  opt.threads = 4;
+  const auto r = run_monte_carlo(*b.ctx, opt);
+  EXPECT_EQ(r.circuit_samples.size(), 0u);
+  EXPECT_EQ(r.mean_ps, 0.0);
+  EXPECT_EQ(r.sigma_ps, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The underlying primitives.
+// ---------------------------------------------------------------------------
+
+TEST(StreamSeed, IndependentOfOrderAndDistinct) {
+  EXPECT_EQ(util::stream_seed(42, 7), util::stream_seed(42, 7));
+  EXPECT_NE(util::stream_seed(42, 7), util::stream_seed(42, 8));
+  EXPECT_NE(util::stream_seed(42, 7), util::stream_seed(43, 7));
+  // Consecutive indices must not produce correlated low bits.
+  EXPECT_NE(util::stream_seed(1, 0) & 0xffff, util::stream_seed(1, 1) & 0xffff);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  util::parallel_for(hits.size(), 7, 4, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ChunkGeometryIndependentOfThreads) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(
+        util::detail::chunk_count(100, 16));
+    util::parallel_for(100, 16, threads,
+                       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                         ranges[chunk] = {begin, end};
+                       });
+    ASSERT_EQ(ranges.size(), 7u);
+    for (std::size_t c = 0; c < ranges.size(); ++c) {
+      EXPECT_EQ(ranges[c].first, c * 16);
+      EXPECT_EQ(ranges[c].second, std::min<std::size_t>(100, c * 16 + 16));
+    }
+  }
+}
+
+TEST(ParallelFor, NestedRegionsRunInlineWithoutDeadlock) {
+  // A body that itself calls parallel_for must not deadlock the shared pool;
+  // the inner region detects it is on a pool worker and runs inline.
+  std::atomic<int> count{0};
+  util::parallel_for(8, 1, 4, [&](std::size_t, std::size_t, std::size_t) {
+    util::parallel_for(16, 4, 4,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         count.fetch_add(int(end - begin));
+                       });
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ParallelFor, SharedPoolSurvivesRepeatedRegions) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    util::parallel_for(100, 10, 4, [&](std::size_t begin, std::size_t end, std::size_t) {
+      count.fetch_add(int(end - begin));
+    });
+    ASSERT_EQ(count.load(), 100) << "round " << round;
+  }
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      util::parallel_for(64, 4, 4,
+                         [&](std::size_t begin, std::size_t, std::size_t) {
+                           if (begin == 32) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  util::ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace statsizer::ssta

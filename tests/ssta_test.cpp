@@ -199,7 +199,12 @@ TEST(Canonical, TracksCorrelatedMonteCarlo) {
   const MonteCarloResult mc = run_monte_carlo(*b.ctx, mc_opt);
   const FullSstaResult independent = run_fullssta(*b.ctx);
 
-  EXPECT_NEAR(can.mean_ps, mc.mean_ps, 0.03 * mc.mean_ps);
+  // Tolerance = the engine's systematic gap plus sampling noise: against a
+  // 400k-sample reference the canonical mean sits ~2.8% above MC on this
+  // workload (truncated sampling vs Gaussian algebra), and at 20k samples
+  // the MC mean estimate itself moves by up to ~1.2% (3 standard errors;
+  // sigma/mu is ~0.55 here).
+  EXPECT_NEAR(can.mean_ps, mc.mean_ps, 0.04 * mc.mean_ps);
   EXPECT_NEAR(can.sigma_ps, mc.sigma_ps, 0.25 * mc.sigma_ps);
   // And it must be closer to MC sigma than the independent engine is.
   EXPECT_LT(std::abs(can.sigma_ps - mc.sigma_ps),
