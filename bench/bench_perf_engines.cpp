@@ -99,6 +99,50 @@ void BM_MonteCarloThreads(benchmark::State& state, const std::string& name) {
                  "ps sigma=" + std::to_string(reference.sigma_ps) + "ps");
 }
 
+/// Parallel StatisticalGreedy scaling: candidate scoring fans across
+/// state.range(0) workers, with a one-shot check that every thread count
+/// reproduces the 1-thread run bitwise (trajectory, stats, final sizes).
+/// Each iteration restores the baseline sizes so successive runs optimize
+/// the same starting point.
+void BM_SizerThreads(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  const auto baseline_sizes = flow.netlist().sizes();
+
+  opt::StatisticalSizerOptions opt;
+  opt.objective.lambda = 3.0;
+  opt.max_iterations = 3;  // a few plan rounds: scoring-dominated, bench-sized
+  const auto run_with = [&](std::size_t threads) {
+    flow.timing().mutable_netlist().set_sizes(baseline_sizes);
+    flow.timing().update();
+    auto o = opt;
+    o.threads = threads;
+    return opt::size_statistically(flow.timing(), o);
+  };
+
+  const auto reference = run_with(1);
+  const auto ref_sizes = flow.netlist().sizes();
+  const auto parallel = run_with(static_cast<std::size_t>(state.range(0)));
+  if (parallel.resizes != reference.resizes ||
+      parallel.fassta_evaluations != reference.fassta_evaluations ||
+      parallel.final_.mean_ps != reference.final_.mean_ps ||
+      parallel.final_.sigma_ps != reference.final_.sigma_ps ||
+      flow.netlist().sizes() != ref_sizes) {
+    state.SkipWithError("parallel sizer diverged from the serial reference");
+    flow.timing().mutable_netlist().set_sizes(baseline_sizes);
+    flow.timing().update();
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_with(static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetLabel(std::to_string(reference.fassta_evaluations) + " fassta evals/run");
+
+  // Leave the shared fixture at its baseline point for later benchmarks.
+  flow.timing().mutable_netlist().set_sizes(baseline_sizes);
+  flow.timing().update();
+}
+
 void BM_TimingUpdate(benchmark::State& state, const std::string& name) {
   auto& flow = flow_for(name);
   for (auto _ : state) {
@@ -116,6 +160,13 @@ BENCHMARK_CAPTURE(BM_Fullssta, c880, std::string("c880"));
 BENCHMARK_CAPTURE(BM_Canonical, c880, std::string("c880"));
 BENCHMARK_CAPTURE(BM_MonteCarlo1k, c880, std::string("c880"));
 BENCHMARK_CAPTURE(BM_MonteCarloThreads, c880, std::string("c880"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SizerThreads, c880, std::string("c880"))
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

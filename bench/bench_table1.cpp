@@ -3,11 +3,23 @@
 // change in mean, change in sigma, resulting sigma/mu, change in area, and
 // runtime. The paper's values are printed alongside for comparison.
 //
-// Usage: bench_table1 [--quick] [circuit ...]
-//   --quick   only the sub-1000-gate circuits (CI-friendly)
-//   circuits  subset by name (default: all 13)
+// Usage: bench_table1 [--quick] [--threads N] [circuit ...]
+//   --quick       only the sub-1000-gate circuits (CI-friendly)
+//   --threads N   shard circuits across N pool workers (the
+//                 Flow::run_monte_carlo_batch fan-out pattern); each sharded
+//                 run then scores sizing candidates serially. With N = 1
+//                 (default) circuits run sequentially and the candidate
+//                 scoring inside each run fans across hardware threads
+//                 instead. Either way the table values are identical — the
+//                 sizer is thread-count-invariant.
+//   circuits      subset by name (default: all 13)
+//
+// Exit status is nonzero when any circuit name is unknown or any run fails,
+// so automation (scripts/check.sh --table1-smoke) can trust it.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -15,78 +27,150 @@
 #include "core/flow.h"
 #include "netlist/topo.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace statsizer;
 
+namespace {
+
+struct RowResult {
+  std::vector<std::string> row;
+  std::string error;  ///< non-empty when the run failed
+};
+
+RowResult run_circuit(const std::string& name, const circuits::Table1Reference& ref,
+                      std::size_t shards) {
+  RowResult out;
+  core::FlowOptions flow_options;
+  // Inner scoring parallelism only when circuits are actually sharded.
+  const std::size_t sizer_threads = shards > 1 ? 1 : 0;
+  flow_options.sizer_threads = sizer_threads;
+
+  core::Flow flow(flow_options);
+  if (const Status s = flow.load_table1(name); !s.ok()) {
+    out.error = s.message();
+    return out;
+  }
+  std::fprintf(stderr, "[table1] %s: %zu gates, baseline...\n", name.c_str(),
+               flow.netlist().logic_gate_count());
+  (void)flow.run_baseline();
+  const opt::CircuitStats original = flow.analyze();
+  const auto baseline_sizes = flow.netlist().sizes();
+
+  out.row = {
+      name,
+      std::to_string(flow.netlist().logic_gate_count()),
+      std::to_string(netlist::depth(flow.netlist())),
+      util::fmt(original.sigma_over_mu(), 4),
+      util::fmt(ref.paper_sigma_over_mu, 3),
+  };
+  // Size-adaptive effort: the >1500-gate circuits get a bounded iteration
+  // budget so the full table stays within a practical wall-clock (the
+  // trends survive; see EXPERIMENTS.md).
+  opt::StatisticalSizerOptions overrides;
+  overrides.threads = sizer_threads;
+  if (flow.netlist().logic_gate_count() > 1500) {
+    overrides.max_iterations = 40;
+    overrides.exact_fallback_gate_limit = 10;
+    overrides.max_global_sweeps = 2;
+  }
+  for (const double lambda : {3.0, 9.0}) {
+    flow.timing().mutable_netlist().set_sizes(baseline_sizes);
+    flow.timing().update();
+    std::fprintf(stderr, "[table1] %s: lambda = %.0f...\n", name.c_str(), lambda);
+    const core::OptimizationRecord rec = flow.optimize(lambda, &overrides);
+    out.row.push_back(util::fmt_pct(rec.mean_change, 1));
+    out.row.push_back(util::fmt_pct(rec.sigma_change, 0));
+    out.row.push_back(util::fmt_pct(lambda == 3.0 ? ref.paper_sigma_reduction_l3
+                                                  : ref.paper_sigma_reduction_l9,
+                                    0));
+    out.row.push_back(util::fmt_pct(rec.area_change, 0));
+    out.row.push_back(util::fmt(rec.runtime_seconds, 2));
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool quick = false;
+  std::size_t threads = 1;
   std::vector<std::string> selected;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads requires a value\n");
+        return 2;
+      }
+      const char* value = argv[++i];
+      char* end = nullptr;
+      threads = static_cast<std::size_t>(std::strtoul(value, &end, 10));
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "--threads: not a number: '%s'\n", value);
+        return 2;
+      }
+      if (threads == 0) threads = util::ThreadPool::default_thread_count();
     } else {
       selected.emplace_back(argv[i]);
     }
   }
   if (selected.empty()) selected = circuits::table1_names();
 
-  util::Table table({"Circuit", "Gates", "Depth", "s/m orig", "s/m paper",  //
-                     "L3 dMu", "L3 dSg", "L3 dSg paper", "L3 dA", "L3 t(s)",
-                     "L9 dMu", "L9 dSg", "L9 dSg paper", "L9 dA", "L9 t(s)"});
-
+  // Resolve and validate the workload list up front: an unknown name must
+  // fail the whole invocation, not silently shrink the table.
+  std::vector<std::pair<std::string, circuits::Table1Reference>> work;
+  bool bad_name = false;
   for (const std::string& name : selected) {
     const auto ref = circuits::table1_reference(name);
     if (!ref.has_value()) {
       std::fprintf(stderr, "unknown circuit '%s'\n", name.c_str());
-      return 1;
+      bad_name = true;
+      continue;
     }
     if (quick && ref->paper_gates > 1000) continue;
+    work.emplace_back(name, *ref);
+  }
+  if (bad_name) return 1;
 
-    core::Flow flow;
-    if (const Status s = flow.load_table1(name); !s.ok()) {
-      std::fprintf(stderr, "%s: %s\n", name.c_str(), s.message().c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "[table1] %s: %zu gates, baseline...\n", name.c_str(),
-                 flow.netlist().logic_gate_count());
-    (void)flow.run_baseline();
-    const opt::CircuitStats original = flow.analyze();
-    const auto baseline_sizes = flow.netlist().sizes();
+  // Shard whole circuits across the pool, run_monte_carlo_batch style:
+  // results land in index-aligned slots, so the table order (and every value
+  // in it) is independent of the thread count. The effective shard count is
+  // bounded by the work list: asking for 8 threads on one circuit must not
+  // serialize that circuit's inner candidate scoring.
+  const std::size_t shards = std::min(threads, std::max<std::size_t>(work.size(), 1));
+  std::vector<RowResult> results(work.size());
+  util::parallel_for(work.size(), 1, shards,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         try {
+                           results[i] = run_circuit(work[i].first, work[i].second, shards);
+                         } catch (const std::exception& e) {
+                           results[i].error = e.what();
+                         }
+                       }
+                     });
 
-    std::vector<std::string> row = {
-        name,
-        std::to_string(flow.netlist().logic_gate_count()),
-        std::to_string(netlist::depth(flow.netlist())),
-        util::fmt(original.sigma_over_mu(), 4),
-        util::fmt(ref->paper_sigma_over_mu, 3),
-    };
-    // Size-adaptive effort: the >1500-gate circuits get a bounded iteration
-    // budget so the full table stays within a practical wall-clock (the
-    // trends survive; see EXPERIMENTS.md).
-    opt::StatisticalSizerOptions overrides;
-    if (flow.netlist().logic_gate_count() > 1500) {
-      overrides.max_iterations = 40;
-      overrides.exact_fallback_gate_limit = 10;
-      overrides.max_global_sweeps = 2;
+  util::Table table({"Circuit", "Gates", "Depth", "s/m orig", "s/m paper",  //
+                     "L3 dMu", "L3 dSg", "L3 dSg paper", "L3 dA", "L3 t(s)",
+                     "L9 dMu", "L9 dSg", "L9 dSg paper", "L9 dA", "L9 t(s)"});
+  bool failed = false;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (!results[i].error.empty()) {
+      std::fprintf(stderr, "%s: %s\n", work[i].first.c_str(), results[i].error.c_str());
+      failed = true;
+      continue;
     }
-    for (const double lambda : {3.0, 9.0}) {
-      flow.timing().mutable_netlist().set_sizes(baseline_sizes);
-      flow.timing().update();
-      std::fprintf(stderr, "[table1] %s: lambda = %.0f...\n", name.c_str(), lambda);
-      const core::OptimizationRecord rec = flow.optimize(lambda, &overrides);
-      row.push_back(util::fmt_pct(rec.mean_change, 1));
-      row.push_back(util::fmt_pct(rec.sigma_change, 0));
-      row.push_back(util::fmt_pct(lambda == 3.0 ? ref->paper_sigma_reduction_l3
-                                                : ref->paper_sigma_reduction_l9,
-                                  0));
-      row.push_back(util::fmt_pct(rec.area_change, 0));
-      row.push_back(util::fmt(rec.runtime_seconds, 2));
-    }
-    table.add_row(std::move(row));
+    table.add_row(std::move(results[i].row));
   }
 
   std::printf("Table 1 — statistical gate sizing on Table-1 workloads\n");
   std::printf("(paper columns shown for reference; see EXPERIMENTS.md)\n\n");
   std::printf("%s\n", table.to_string().c_str());
+  if (failed) {
+    std::fprintf(stderr, "bench_table1: one or more circuits failed\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run the full gtest suite through CTest.
 #
-#   scripts/check.sh             # RelWithDebInfo build + ctest
-#   scripts/check.sh --asan      # additionally run the fast tests under
-#                                # AddressSanitizer + UBSan
+#   scripts/check.sh                 # RelWithDebInfo build + ctest
+#   scripts/check.sh --asan          # additionally run the fast tests under
+#                                    # AddressSanitizer + UBSan
+#   scripts/check.sh --table1-smoke  # additionally run
+#                                    # bench_table1 --quick --threads 2 as a
+#                                    # post-ctest end-to-end smoke check
 #
-# Exits non-zero on the first failing step.
+# Flags compose. Exits non-zero on the first failing step.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,20 +23,39 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" "${CTEST_EXTRA[@]}"
 }
 
-if [[ -n "${1:-}" && "${1}" != "--asan" ]]; then
-  echo "usage: scripts/check.sh [--asan]" >&2
-  exit 2
-fi
+ASAN=0
+SMOKE=0
+for arg in "$@"; do
+  case "${arg}" in
+    --asan) ASAN=1 ;;
+    --table1-smoke) SMOKE=1 ;;
+    *)
+      echo "usage: scripts/check.sh [--asan] [--table1-smoke]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 CTEST_EXTRA=()
 run_suite build
 
-if [[ "${1:-}" == "--asan" ]]; then
+if [[ "${ASAN}" == 1 ]]; then
   # Sanitized pass over the fast tests (the long end-to-end flows are covered
   # by the normal build; under ASan they would dominate the wall clock).
-  CTEST_EXTRA=(-E 'FlowRegression|Table1|Sizer')
+  # SizerParallel stays in: it exercises the concurrent candidate-scoring
+  # kernel and per-worker scratch reuse — exactly where memory bugs would
+  # surface — at ~10 s sanitized.
+  CTEST_EXTRA=(-E 'FlowRegression|Table1|StatisticalSizer')
   run_suite build-asan -DSTATSIZER_SANITIZE=ON -DSTATSIZER_BUILD_BENCHES=OFF \
     -DSTATSIZER_BUILD_EXAMPLES=OFF
+fi
+
+if [[ "${SMOKE}" == 1 ]]; then
+  # End-to-end Table-1 sweep on the CI-sized circuits, sharded across two
+  # workers. bench_table1 exits nonzero on unknown circuits or failed runs,
+  # so this catches whole-flow breakage the unit suites can miss.
+  echo "check.sh: table1 smoke (--quick --threads 2)"
+  ./build/bench_table1 --quick --threads 2 >/dev/null
 fi
 
 echo "check.sh: all green"

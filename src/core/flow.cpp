@@ -53,6 +53,7 @@ opt::DeterministicSizerStats Flow::run_baseline() {
 
   opt::StatisticalSizerOptions polish;
   polish.objective.lambda = 0.0;
+  polish.threads = options_.sizer_threads;
   // Bounded effort on large circuits: the polish exists to put the baseline
   // at its E[max] optimum, and diminishing returns set in well before the
   // default cap on multi-thousand-gate netlists.
@@ -86,6 +87,7 @@ OptimizationRecord Flow::optimize(double lambda,
 
   opt::StatisticalSizerOptions sizer = overrides != nullptr ? *overrides
                                                             : opt::StatisticalSizerOptions{};
+  if (overrides == nullptr) sizer.threads = options_.sizer_threads;
   sizer.objective.lambda = lambda;
   sizer.fullssta = options_.fullssta;
 
@@ -132,6 +134,11 @@ std::vector<MonteCarloJobResult> Flow::run_monte_carlo_batch(
     const std::vector<MonteCarloJob>& jobs, std::size_t threads,
     const FlowOptions& options) {
   std::vector<MonteCarloJobResult> results(jobs.size());
+  // The pool parallelizes across jobs; inner parallelism (Monte-Carlo
+  // sharding, sizer candidate scoring) is pinned to 1 to avoid
+  // oversubscription. Determinism makes the two equivalent result-wise.
+  FlowOptions job_options = options;
+  job_options.sizer_threads = 1;
   // Chunk size 1: jobs are coarse-grained (seconds each) and heterogeneous,
   // so per-job scheduling is what load-balances the pool.
   util::parallel_for(jobs.size(), 1, threads,
@@ -142,7 +149,7 @@ std::vector<MonteCarloJobResult> Flow::run_monte_carlo_batch(
                          // Per-job error isolation: one failing job must not
                          // take down the other jobs' results.
                          try {
-                           Flow flow(options);
+                           Flow flow(job_options);
                            out.status = flow.load_table1(job.table1_name);
                            if (!out.status.ok()) continue;
                            (void)flow.run_baseline();

@@ -50,6 +50,11 @@ struct FlowOptions {
   opt::RecoveryCriterion recovery_criterion = opt::RecoveryCriterion::kDeterministicArrival;
   double recovery_tolerance = 0.003;
   std::size_t post_recovery_polish_iterations = 20;
+  /// Worker threads for StatisticalGreedy's candidate scoring, applied to
+  /// run_baseline's polish stages and to optimize() when no overrides are
+  /// passed (explicit overrides carry their own threads field). 1 = serial,
+  /// 0 = hardware concurrency; results are identical for any value.
+  std::size_t sizer_threads = 1;
 };
 
 /// Everything one statistical optimization run produced.

@@ -61,8 +61,15 @@ std::vector<NodeMoments> Engine::run(NodeMoments* circuit) const {
 
 sta::NodeMoments Engine::run_with_candidate(GateId center,
                                             const liberty::Cell& candidate) const {
+  Scratch scratch;
+  return run_with_candidate(center, candidate, scratch);
+}
+
+sta::NodeMoments Engine::run_with_candidate(GateId center, const liberty::Cell& candidate,
+                                            Scratch& scratch) const {
   const auto& nl = ctx_.netlist();
-  std::vector<NodeMoments> arrival(nl.node_count());
+  std::vector<NodeMoments>& arrival = scratch.arrival;
+  arrival.assign(nl.node_count(), NodeMoments{});
 
   for (const GateId id : ctx_.topo_order()) {
     const auto& g = nl.gate(id);
@@ -139,12 +146,28 @@ SubcircuitCost Engine::evaluate_candidate(const netlist::Subcircuit& sc,
                                           std::span<const NodeMoments> downstream,
                                           GateId center, const liberty::Cell& candidate,
                                           double lambda) const {
+  Scratch scratch;
+  return evaluate_candidate(sc, boundary, downstream, center, candidate, lambda, scratch);
+}
+
+SubcircuitCost Engine::evaluate_candidate(const netlist::Subcircuit& sc,
+                                          std::span<const NodeMoments> boundary,
+                                          std::span<const NodeMoments> downstream,
+                                          GateId center, const liberty::Cell& candidate,
+                                          double lambda, Scratch& scratch) const {
   const auto& nl = ctx_.netlist();
 
   // Local arrival moments for members only, indexed by position in sc.gates.
-  // A parallel map from GateId -> local index keeps lookups O(1).
-  std::vector<NodeMoments> local(sc.gates.size());
-  std::vector<std::uint32_t> local_index(nl.node_count(), UINT32_MAX);
+  // A parallel map from GateId -> local index keeps lookups O(1). The map is
+  // kept all-UINT32_MAX between calls: only the member entries are set here
+  // and restored before returning, so a reused scratch pays O(|sc|), not
+  // O(nodes), per candidate.
+  std::vector<NodeMoments>& local = scratch.local;
+  local.assign(sc.gates.size(), NodeMoments{});
+  std::vector<std::uint32_t>& local_index = scratch.local_index;
+  if (local_index.size() != nl.node_count()) {
+    local_index.assign(nl.node_count(), UINT32_MAX);
+  }
   for (std::uint32_t i = 0; i < sc.gates.size(); ++i) local_index[sc.gates[i]] = i;
 
   const auto arrival_of = [&](GateId id) -> NodeMoments {
@@ -206,6 +229,8 @@ SubcircuitCost Engine::evaluate_candidate(const netlist::Subcircuit& sc,
       first = false;
     }
   }
+
+  for (const GateId g : sc.gates) local_index[g] = UINT32_MAX;
   return result;
 }
 

@@ -6,8 +6,17 @@
 // Boundary conditions at a subcircuit cut come from the most recent FULLSSTA
 // pass. The engine's whole reason to exist is evaluating candidate gate sizes
 // inside the optimizer's inner loop at negligible cost.
+//
+// Thread safety: an Engine holds only a const reference to the TimingContext
+// snapshot plus immutable options, and every method is const and re-entrant —
+// one Engine may be shared by any number of threads as long as nobody mutates
+// the netlist or calls TimingContext::update() concurrently. The only mutable
+// state a call needs lives in an explicit Scratch workspace; give each worker
+// thread its own (see docs/ARCHITECTURE.md, "Concurrency & determinism
+// contracts").
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -37,15 +46,29 @@ struct SubcircuitCost {
 
 class Engine {
  public:
+  /// Reusable workspace for the scoring entry points. A Scratch is NOT
+  /// thread-safe: each thread scoring candidates must own its own instance
+  /// (the engine itself may be shared). Reusing one Scratch across calls
+  /// avoids an O(nodes) allocation per candidate, which is what makes the
+  /// optimizer's parallel inner loop cheap. If a call throws, discard the
+  /// Scratch (its bookkeeping may be mid-reset).
+  struct Scratch {
+    std::vector<sta::NodeMoments> arrival;   ///< run_with_candidate workspace
+    std::vector<sta::NodeMoments> local;     ///< evaluate_candidate: member arrivals
+    std::vector<std::uint32_t> local_index;  ///< evaluate_candidate: GateId -> member slot
+  };
+
   explicit Engine(const sta::TimingContext& ctx, EngineOptions options = {});
 
   /// Statistical max of two Gaussian moment pairs under the engine's options.
+  /// Pure function of its arguments — safe from any thread.
   [[nodiscard]] sta::NodeMoments stat_max(const sta::NodeMoments& a,
                                           const sta::NodeMoments& b) const;
 
   /// Full-netlist moment propagation (used standalone and in benchmarks).
   /// Returns per-node arrival moments; @p circuit is filled with the moments
-  /// of the statistical max over all primary outputs if non-null.
+  /// of the statistical max over all primary outputs if non-null. Const and
+  /// re-entrant.
   [[nodiscard]] std::vector<sta::NodeMoments> run(sta::NodeMoments* circuit = nullptr) const;
 
   /// Full-netlist moment propagation with gate @p center hypothetically bound
@@ -55,8 +78,17 @@ class Engine {
   /// robust inner-loop score: unlike a truncated window it sees the
   /// max-over-all-paths behaviour of the objective (see DESIGN.md,
   /// "window truncation"). Cost: one O(E) pass, a few microseconds per call.
+  /// Const and re-entrant; allocates its own workspace. Hot loops should use
+  /// the Scratch overload instead.
   [[nodiscard]] sta::NodeMoments run_with_candidate(netlist::GateId center,
                                                     const liberty::Cell& candidate) const;
+
+  /// Same, reusing @p scratch for the per-call workspace. Safe to call
+  /// concurrently from many threads as long as every thread passes a distinct
+  /// Scratch; returns moments bitwise-identical to the allocating overload.
+  [[nodiscard]] sta::NodeMoments run_with_candidate(netlist::GateId center,
+                                                    const liberty::Cell& candidate,
+                                                    Scratch& scratch) const;
 
   /// Backward moment pass: for every node, the statistical moments of the
   /// worst downstream path from the node's *output* to any primary output
@@ -64,20 +96,32 @@ class Engine {
   /// local-arrival (+) downstream-potential, which makes costs of different
   /// window outputs globally comparable — without this, a candidate that
   /// slows a side path with deep downstream logic can look like a win inside
-  /// a truncated window (see DESIGN.md, "window truncation").
+  /// a truncated window (see DESIGN.md, "window truncation"). Const and
+  /// re-entrant.
   [[nodiscard]] std::vector<sta::NodeMoments> compute_downstream() const;
 
   /// Evaluates paper eq. 7 over @p sc with gate @p center hypothetically
   /// bound to @p candidate (pass the currently bound cell to score the status
   /// quo). @p boundary are FULLSSTA's per-node arrival moments (subcircuit
   /// members are recomputed, boundary nodes are read as-is); @p downstream
-  /// comes from compute_downstream() on the same snapshot.
+  /// comes from compute_downstream() on the same snapshot. Const and
+  /// re-entrant; allocates its own workspace.
   [[nodiscard]] SubcircuitCost evaluate_candidate(const netlist::Subcircuit& sc,
                                                   std::span<const sta::NodeMoments> boundary,
                                                   std::span<const sta::NodeMoments> downstream,
                                                   netlist::GateId center,
                                                   const liberty::Cell& candidate,
                                                   double lambda) const;
+
+  /// Same, reusing @p scratch (one Scratch per thread). The GateId -> member
+  /// map inside the scratch is restored on exit, so the reset cost per call
+  /// is O(|subcircuit|) rather than O(nodes).
+  [[nodiscard]] SubcircuitCost evaluate_candidate(const netlist::Subcircuit& sc,
+                                                  std::span<const sta::NodeMoments> boundary,
+                                                  std::span<const sta::NodeMoments> downstream,
+                                                  netlist::GateId center,
+                                                  const liberty::Cell& candidate,
+                                                  double lambda, Scratch& scratch) const;
 
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "netlist/subcircuit.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace statsizer::opt {
 
@@ -18,6 +20,85 @@ struct PlannedResize {
   std::uint16_t new_size = 0;
   double predicted_gain = 0.0;
 };
+
+/// One (gate, candidate size) scoring unit for the parallel kernel.
+struct CandidateJob {
+  GateId gate = netlist::kNoGate;
+  std::uint16_t size = 0;
+};
+
+/// Flattened gate × every-library-size job list over a gate set. The jobs for
+/// gates[i] occupy [offsets[i], offsets[i] + size_count) in library size
+/// order, so a score array indexed like `jobs` can be read back per gate.
+struct CandidateJobs {
+  std::vector<CandidateJob> jobs;
+  std::vector<std::size_t> offsets;
+};
+
+CandidateJobs list_candidates(const netlist::Netlist& nl, const liberty::Library& lib,
+                              std::span<const GateId> gates) {
+  CandidateJobs out;
+  out.offsets.reserve(gates.size());
+  for (const GateId g : gates) {
+    out.offsets.push_back(out.jobs.size());
+    const auto& group = lib.group(nl.gate(g).cell_group);
+    for (std::uint16_t s = 0; s < group.size_count(); ++s) {
+      out.jobs.push_back(CandidateJob{g, s});
+    }
+  }
+  return out;
+}
+
+/// The parallel candidate-scoring kernel shared by the plan stage and the
+/// rescue sweeps' prescoring. Fans the fast-engine evaluations across
+/// options.threads workers: every worker reads the same const TimingContext
+/// snapshot through the shared Engine and reuses a private fassta scratch;
+/// slot i of the result is written exactly once by whichever worker draws it,
+/// and the scores themselves do not depend on evaluation order — so the
+/// returned array is bitwise-identical for any thread count.
+std::vector<double> score_candidates(const sta::TimingContext& ctx,
+                                     const fassta::Engine& engine,
+                                     const StatisticalSizerOptions& options,
+                                     InnerScoring scoring,
+                                     std::span<const CandidateJob> jobs,
+                                     std::span<const sta::NodeMoments> boundary,
+                                     std::span<const sta::NodeMoments> downstream) {
+  const auto& nl = ctx.netlist();
+  const auto& lib = ctx.library();
+  const Objective& obj = options.objective;
+  std::vector<double> costs(jobs.size());
+  // Chunked so one scratch (and, in subcircuit mode, one window extraction
+  // per job) amortizes across several candidates; chunk geometry is a pure
+  // function of the job count, never of the thread count.
+  constexpr std::size_t kChunk = 8;
+  util::parallel_for(
+      jobs.size(), kChunk, options.threads,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        fassta::Engine::Scratch scratch;
+        netlist::Subcircuit sc;
+        GateId sc_gate = netlist::kNoGate;
+        for (std::size_t i = begin; i < end; ++i) {
+          const CandidateJob& job = jobs[i];
+          const liberty::Cell& cell = lib.cell_for(nl.gate(job.gate).cell_group, job.size);
+          if (scoring == InnerScoring::kGlobalFassta) {
+            costs[i] = obj.cost(engine.run_with_candidate(job.gate, cell, scratch));
+          } else {
+            // A gate's jobs are contiguous, so one window extraction serves
+            // every size of the gate (the window depends only on the gate).
+            if (job.gate != sc_gate) {
+              sc = netlist::extract_subcircuit(nl, job.gate, options.subcircuit_levels,
+                                               options.subcircuit_levels);
+              sc_gate = job.gate;
+            }
+            costs[i] = engine
+                           .evaluate_candidate(sc, boundary, downstream, job.gate, cell,
+                                               obj.lambda, scratch)
+                           .cost;
+          }
+        }
+      });
+  return costs;
+}
 
 CircuitStats stats_of(const sta::TimingContext& ctx, const ssta::FullSstaResult& full) {
   CircuitStats s;
@@ -42,14 +123,18 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
   ssta::FullSstaResult full = ssta::run_fullssta(ctx, options.fullssta);
   stats.initial = stats_of(ctx, full);
   double global_cost = obj.cost(full.mean_ps, full.sigma_ps);
-  std::size_t global_sweeps = 0;
-  std::size_t uniform_bumps = 0;
 
   // Accurate cost of the context's current state.
   const auto accurate_cost = [&]() {
     ctx.update();
     const ssta::FullSstaResult r = ssta::run_fullssta(ctx, options.fullssta);
     return obj.cost(r.mean_ps, r.sigma_ps);
+  };
+
+  const auto record = [&](GateId gate, std::uint16_t from, std::uint16_t to,
+                          MoveSource source) {
+    if (!options.record_trajectory) return;
+    stats.trajectory.push_back(ResizeEvent{stats.iterations, gate, from, to, source});
   };
 
   for (stats.iterations = 0; stats.iterations < options.max_iterations; ++stats.iterations) {
@@ -69,28 +154,27 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
     }
 
     // ---- move source 1: fast-engine plan over the WNSS path ---------------
+    // Every (gate, size) pair on the path is scored concurrently against the
+    // frozen snapshot; the plan itself is then built serially from the score
+    // array, which keeps it independent of the thread count.
+    const CandidateJobs cand = list_candidates(nl, lib, trace.path);
+    stats.fassta_evaluations += cand.jobs.size();
+    const std::vector<double> costs = score_candidates(
+        ctx, engine, options, options.scoring, cand.jobs, full.node, downstream);
+
     std::vector<PlannedResize> plan;
-    for (const GateId g : trace.path) {
+    for (std::size_t gi = 0; gi < trace.path.size(); ++gi) {
+      const GateId g = trace.path[gi];
       const auto& gate = nl.gate(g);
       const auto& group = lib.group(gate.cell_group);
+      const std::size_t base = cand.offsets[gi];
 
-      const auto score = [&](const liberty::Cell& cell) {
-        ++stats.fassta_evaluations;
-        if (options.scoring == InnerScoring::kGlobalFassta) {
-          return obj.cost(engine.run_with_candidate(g, cell));
-        }
-        const netlist::Subcircuit sc = netlist::extract_subcircuit(
-            nl, g, options.subcircuit_levels, options.subcircuit_levels);
-        return engine.evaluate_candidate(sc, full.node, downstream, g, cell, obj.lambda)
-            .cost;
-      };
-
-      const double current_cost = score(ctx.cell(g));
+      const double current_cost = costs[base + gate.size_index];
       std::uint16_t best_size = gate.size_index;
       double best_cost = current_cost;
       for (std::uint16_t s = 0; s < group.size_count(); ++s) {
         if (s == gate.size_index) continue;
-        const double c = score(lib.cell_for(gate.cell_group, s));
+        const double c = costs[base + s];
         if (c < best_cost - options.min_predicted_gain) {
           best_cost = c;
           best_size = s;
@@ -112,6 +196,9 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
       if (batch_cost < global_cost - options.min_improvement) {
         accepted = plan.size();
         accepted_cost = batch_cost;
+        for (const PlannedResize& r : plan) {
+          record(r.gate, before_sizes[r.gate], r.new_size, MoveSource::kPlan);
+        }
       } else {
         // Roll back, then retry one at a time in descending predicted gain.
         STATSIZER_DEBUG() << "iter " << stats.iterations << ": batch of " << plan.size()
@@ -129,6 +216,7 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
           if (c < accepted_cost - options.min_improvement) {
             accepted_cost = c;
             ++accepted;
+            record(r.gate, keep, r.new_size, MoveSource::kSingle);
           } else {
             nl.gate(r.gate).size_index = keep;
           }
@@ -136,25 +224,63 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
       }
     }
 
-    // Bounded exact-engine sweep over a gate list: every size of each gate,
-    // keeping moves the accurate engine confirms.
-    const auto exact_sweep = [&](std::span<const GateId> gates) {
-      std::size_t kept = 0;
-      for (const GateId g : gates) {
+    // Bounded exact-engine sweep over a gate list: the fast engine prescores
+    // every (gate, size) candidate in parallel — the same kernel as the plan
+    // stage — to order the trials by predicted gain; the accurate engine then
+    // serially confirms every candidate in that fixed order (each trial's
+    // basis includes the moves confirmed before it, which is why this stage
+    // cannot fan out). The prescore only orders, never filters: engine
+    // disagreement is exactly what this rescue exists for.
+    const auto exact_sweep = [&](std::span<const GateId> gates, MoveSource source) {
+      // Re-sync the snapshot: a rejected trial above leaves the timing state
+      // one update behind the (reverted) netlist.
+      ctx.update();
+      const CandidateJobs sweep = list_candidates(nl, lib, gates);
+      stats.fassta_evaluations += sweep.jobs.size();
+      const std::vector<double> prescores =
+          score_candidates(ctx, engine, options, InnerScoring::kGlobalFassta, sweep.jobs,
+                           full.node, {});
+
+      struct RescueCandidate {
+        GateId gate = netlist::kNoGate;
+        std::uint16_t size = 0;
+        double gain = 0.0;
+        std::size_t job_index = 0;  ///< deterministic tiebreak (gate order, size)
+      };
+      std::vector<RescueCandidate> ordered;
+      for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const GateId g = gates[gi];
+        const std::size_t base = sweep.offsets[gi];
+        const std::uint16_t current = nl.gate(g).size_index;
         const auto& group = lib.group(nl.gate(g).cell_group);
         for (std::uint16_t s = 0; s < group.size_count(); ++s) {
-          if (s == nl.gate(g).size_index) continue;
-          const std::uint16_t keep = nl.gate(g).size_index;
-          nl.gate(g).size_index = s;
-          const double c = accurate_cost();
-          if (c < accepted_cost - options.min_improvement) {
-            accepted_cost = c;
-            ++kept;
-          } else {
-            nl.gate(g).size_index = keep;
-          }
+          if (s == current) continue;
+          ordered.push_back(
+              RescueCandidate{g, s, prescores[base + current] - prescores[base + s],
+                              base + s});
         }
       }
+      std::sort(ordered.begin(), ordered.end(),
+                [](const RescueCandidate& a, const RescueCandidate& b) {
+                  if (a.gain != b.gain) return a.gain > b.gain;
+                  return a.job_index < b.job_index;
+                });
+
+      std::size_t kept = 0;
+      for (const RescueCandidate& c : ordered) {
+        const std::uint16_t keep = nl.gate(c.gate).size_index;
+        if (c.size == keep) continue;  // an earlier confirm moved the gate here
+        nl.gate(c.gate).size_index = c.size;
+        const double cost = accurate_cost();
+        if (cost < accepted_cost - options.min_improvement) {
+          accepted_cost = cost;
+          ++kept;
+          record(c.gate, keep, c.size, source);
+        } else {
+          nl.gate(c.gate).size_index = keep;
+        }
+      }
+      stats.exact_resizes += kept;
       return kept;
     };
 
@@ -166,12 +292,17 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
       // objective, with a bounded budget.
       const std::size_t n_path =
           std::min(trace.path.size(), options.exact_fallback_gate_limit);
-      accepted += exact_sweep(std::span<const GateId>(trace.path.data(), n_path));
+      accepted += exact_sweep(std::span<const GateId>(trace.path.data(), n_path),
+                              MoveSource::kExactFallback);
     }
 
     // ---- move source 3: netlist-wide sweep of the fattest arcs -------------
-    if (accepted == 0 && global_sweeps < options.max_global_sweeps) {
-      ++global_sweeps;
+    if (accepted == 0 && stats.global_sweeps < options.max_global_sweeps) {
+      ++stats.global_sweeps;
+      // Re-sync before ranking: a rejected trial above leaves the snapshot
+      // one update behind the (reverted) netlist, which would mis-rank the
+      // arc sigmas here.
+      ctx.update();
       std::vector<GateId> fat;
       for (GateId g = 0; g < nl.node_count(); ++g) {
         if (ctx.has_cell(g)) fat.push_back(g);
@@ -186,7 +317,7 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
       std::sort(fat.begin(), fat.end(),
                 [&](GateId a, GateId b) { return worst_sigma(a) > worst_sigma(b); });
       fat.resize(std::min(fat.size(), options.global_sweep_gate_limit));
-      accepted += exact_sweep(fat);
+      accepted += exact_sweep(fat, MoveSource::kGlobalSweep);
       STATSIZER_DEBUG() << "iter " << stats.iterations << ": global sweep kept "
                         << accepted << " resizes";
     }
@@ -195,8 +326,9 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
     // Balanced fabrics (wide XOR trees) spread the output variance over
     // thousands of near-identical paths; no single-gate move registers, but a
     // whole-population upsize halves sigma at once (sigma ~ 1/drive).
-    if (accepted == 0 && uniform_bumps < options.max_uniform_bumps) {
-      ++uniform_bumps;
+    if (accepted == 0 && stats.uniform_bump_rounds < options.max_uniform_bumps) {
+      ++stats.uniform_bump_rounds;
+      ctx.update();  // same re-sync: the drive median below reads the snapshot
       const auto try_bump = [&](bool only_small) {
         const auto before = nl.sizes();
         double median_drive = 1.0;
@@ -229,6 +361,7 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
       };
       if (try_bump(/*only_small=*/false) || try_bump(/*only_small=*/true)) {
         ++accepted;
+        record(netlist::kNoGate, 0, 0, MoveSource::kUniformBump);
         STATSIZER_DEBUG() << "iter " << stats.iterations << ": uniform bump accepted";
       }
     }

@@ -16,9 +16,21 @@
 // a batch that fails to improve it is rolled back and retried as the single
 // most-promising resize; if that fails too, the loop ends. This guards
 // against oscillation, which batch-greedy sizers are prone to.
+//
+// Concurrency: the per-gate × per-size FASSTA candidate scoring — the runtime
+// hot path — fans out across util::ThreadPool::shared() when
+// StatisticalSizerOptions::threads != 1. Workers only read the const
+// TimingContext snapshot and write disjoint slots of a score array, so the
+// chosen plan, the whole optimization trajectory, StatisticalSizerStats, and
+// the final sizes are bitwise-identical for any thread count (the same
+// contract as the parallel Monte-Carlo engine; see docs/ARCHITECTURE.md,
+// "Concurrency & determinism contracts"). The accurate FULLSSTA
+// confirmations stay serial: each trial mutates the netlist and rebuilds the
+// timing snapshot, and acceptance depends on what was accepted before it.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -44,6 +56,14 @@ struct StatisticalSizerOptions {
   Objective objective;                     ///< eq. 7 weight lambda
   InnerScoring scoring = InnerScoring::kGlobalFassta;
   unsigned subcircuit_levels = 2;          ///< TFI/TFO depth (paper: 2)
+  /// Worker threads for the inner-loop candidate scoring (and the rescue
+  /// paths' fast-engine prescoring). 1 = serial on the calling thread; 0 =
+  /// hardware concurrency. Results — trajectory, stats, final sizes — are
+  /// bitwise-identical for any value.
+  std::size_t threads = 1;
+  /// Record every confirmed resize in StatisticalSizerStats::trajectory
+  /// (off by default: large runs commit thousands of moves).
+  bool record_trajectory = false;
   std::size_t max_iterations = 120;
   double min_improvement = 1e-3;           ///< required global cost decrease (ps)
   /// Planning threshold: a candidate enters the resize plan only if the fast
@@ -76,16 +96,50 @@ struct StatisticalSizerOptions {
   std::size_t max_uniform_bumps = 6;
 };
 
+/// Which move source committed a resize (ordered as tried per iteration).
+enum class MoveSource : std::uint8_t {
+  kPlan,          ///< fast-engine plan, accepted as a batch
+  kSingle,        ///< plan retried one-at-a-time after batch rejection
+  kExactFallback, ///< accurate sweep of the WNSS path prefix
+  kGlobalSweep,   ///< accurate sweep of the fattest arcs netlist-wide
+  kUniformBump,   ///< coordinated whole-population upsize
+};
+
+/// One confirmed resize (only recorded when options.record_trajectory).
+/// A kUniformBump event stands for the whole population move: gate is
+/// netlist::kNoGate and the size fields are zero.
+struct ResizeEvent {
+  std::size_t iteration = 0;
+  netlist::GateId gate = netlist::kNoGate;
+  std::uint16_t from_size = 0;
+  std::uint16_t to_size = 0;
+  MoveSource source = MoveSource::kPlan;
+
+  friend bool operator==(const ResizeEvent&, const ResizeEvent&) = default;
+};
+
 struct StatisticalSizerStats {
   std::size_t iterations = 0;
   std::size_t resizes = 0;
   std::size_t fassta_evaluations = 0;
+  /// Resizes confirmed by the exact rescue sweeps (fallback + global).
+  std::size_t exact_resizes = 0;
+  /// Netlist-wide rescue sweeps run (bounded by max_global_sweeps).
+  std::size_t global_sweeps = 0;
+  /// Population-bump rounds attempted (bounded by max_uniform_bumps).
+  std::size_t uniform_bump_rounds = 0;
+  /// Every confirmed resize in commit order (only if record_trajectory).
+  std::vector<ResizeEvent> trajectory;
   CircuitStats initial;
   CircuitStats final_;
   bool constraints_met = false;
 };
 
-/// Runs StatisticalGreedy in place on the context's netlist.
+/// Runs StatisticalGreedy in place on the context's netlist. Mutates the
+/// netlist's size indices and the timing snapshot; not safe to call
+/// concurrently on the same context. Internal candidate scoring fans out
+/// across options.threads workers with thread-count-invariant results (see
+/// the header comment).
 StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
                                          const StatisticalSizerOptions& options = {});
 

@@ -3,9 +3,12 @@
 // parallel_for decomposes [0, total) into fixed-size chunks whose boundaries
 // depend only on (total, chunk_size) — never on the thread count — so a
 // caller that accumulates per-chunk partial results and merges them in chunk
-// order gets bitwise-identical output for any number of threads. This is the
-// contract the parallel Monte-Carlo engine (ssta/monte_carlo.cpp) and the
-// batch flow API (core::Flow::run_monte_carlo_batch) are built on.
+// order (or writes each index's result to its own slot) gets
+// bitwise-identical output for any number of threads. This is the contract
+// the parallel Monte-Carlo engine (ssta/monte_carlo.cpp), the batch flow API
+// (core::Flow::run_monte_carlo_batch), and StatisticalGreedy's candidate
+// scoring (opt/sizer_statistical.cpp) are built on; the rules are written up
+// in docs/ARCHITECTURE.md, "Concurrency & determinism contracts".
 //
 // Exceptions thrown by a chunk body are captured and rethrown on the calling
 // thread after all workers have drained (first one wins).
@@ -33,16 +36,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks may themselves submit more tasks. Tasks are
-  /// responsible for their own error handling: an exception escaping a task
-  /// is swallowed by the worker (parallel_for layers its own capture-and-
-  /// rethrow on top of this).
+  /// Enqueues a task. Thread-safe: any thread, including pool workers, may
+  /// submit concurrently. Tasks are responsible for their own error handling:
+  /// an exception escaping a task is swallowed by the worker (parallel_for
+  /// layers its own capture-and-rethrow on top of this).
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and every worker is idle. Must not be
-  /// called from a pool worker (it would wait for itself).
+  /// Blocks until the queue is empty and every worker is idle. Thread-safe,
+  /// but must not be called from a pool worker (it would wait for itself).
   void wait_idle();
 
+  /// Thread-safe (immutable after construction).
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
   /// hardware_concurrency clamped to >= 1.
@@ -50,12 +54,13 @@ class ThreadPool {
 
   /// Lazily-created process-wide pool (default_thread_count workers) that
   /// parallel_for dispatches onto — repeated parallel regions reuse threads
-  /// instead of paying spawn/join per call.
+  /// instead of paying spawn/join per call. Thread-safe (C++ static-local
+  /// initialization).
   [[nodiscard]] static ThreadPool& shared();
 
   /// True when the calling thread is a worker of any ThreadPool. Used by
   /// parallel_for to run nested regions inline (a worker waiting on queued
-  /// helper tasks could otherwise deadlock the pool).
+  /// helper tasks could otherwise deadlock the pool). Thread-safe.
   [[nodiscard]] static bool in_worker();
 
  private:
@@ -89,6 +94,13 @@ namespace detail {
 /// by the shared pool's size). threads == 0 means
 /// ThreadPool::default_thread_count(). Returns only after every helper has
 /// finished, so the body may capture caller-stack state by reference.
+///
+/// Thread-safety contract for the body: it may run on the caller's thread or
+/// any pool worker, concurrently with other chunks. Shared inputs must be
+/// read-only for the duration of the call; mutable state must be per-chunk
+/// (created inside the body) or written to slots no other chunk touches.
+/// Determinism follows from the fixed chunk geometry: results assembled in
+/// chunk order (or per-slot) are identical for any `threads` value.
 template <typename Body>
 void parallel_for(std::size_t total, std::size_t chunk_size, std::size_t threads,
                   Body&& body) {
