@@ -8,6 +8,8 @@
 #include "ssta/canonical.h"
 #include "ssta/fullssta.h"
 #include "ssta/monte_carlo.h"
+#include "timing/analyzer.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -143,6 +145,76 @@ void BM_SizerThreads(benchmark::State& state, const std::string& name) {
   flow.timing().update();
 }
 
+/// Parallel speculative FULLSSTA confirmation — the rescue-sweep pattern:
+/// one wave of what-if speculations (every alternative size of the gates
+/// with the fattest arc sigmas) is scored across state.range(0) workers
+/// through timing::Analyzer, with a one-shot check that every thread count
+/// reproduces the 1-thread scores bitwise (each speculation re-propagates
+/// only its fanout cone against a private overlay; the shared base is
+/// read-only).
+void BM_WhatIfConfirm(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  const auto analyzer = flow.make_analyzer("fullssta");
+  (void)analyzer->analyze(flow.timing());
+
+  // The wave: all alternative sizes of the 16 gates with the worst arc
+  // sigmas (what a global rescue sweep confirms).
+  const auto& nl = flow.netlist();
+  const auto& ctx = flow.timing();
+  std::vector<netlist::GateId> gates;
+  for (netlist::GateId g = 0; g < nl.node_count(); ++g) {
+    if (flow.timing().has_cell(g)) gates.push_back(g);
+  }
+  std::vector<double> worst_sigma(nl.node_count(), 0.0);
+  for (const netlist::GateId g : gates) {
+    for (std::size_t i = 0; i < nl.gate(g).fanins.size(); ++i) {
+      worst_sigma[g] = std::max(worst_sigma[g], ctx.arc_sigma_ps(g, i));
+    }
+  }
+  // Gate-id tie-break: identical instances tie on sigma, and the wave must
+  // be the same on every platform for the numbers to be comparable.
+  std::sort(gates.begin(), gates.end(), [&](netlist::GateId a, netlist::GateId b) {
+    if (worst_sigma[a] != worst_sigma[b]) return worst_sigma[a] > worst_sigma[b];
+    return a < b;
+  });
+  gates.resize(std::min<std::size_t>(gates.size(), 16));
+  std::vector<timing::Resize> wave;
+  for (const netlist::GateId g : gates) {
+    const auto& group = flow.library().group(nl.gate(g).cell_group);
+    for (std::uint16_t s = 0; s < group.size_count(); ++s) {
+      if (s != nl.gate(g).size_index) wave.push_back(timing::Resize{g, s});
+    }
+  }
+
+  const auto score_wave = [&](std::size_t threads) {
+    std::vector<std::unique_ptr<timing::Speculation>> specs(wave.size());
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      specs[i] = analyzer->propose(wave[i].gate, wave[i].size);
+    }
+    std::vector<double> costs(wave.size());
+    util::parallel_for(wave.size(), 1, threads,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const timing::Summary& s = specs[i]->score();
+                           costs[i] = s.mean_ps + 3.0 * s.sigma_ps;
+                         }
+                       });
+    return costs;
+  };
+
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const auto reference = score_wave(1);
+  if (score_wave(threads) != reference) {
+    state.SkipWithError("parallel what-if scores diverged from the serial reference");
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(score_wave(threads));
+  }
+  state.SetLabel(std::to_string(wave.size()) + " speculations/wave");
+}
+
 void BM_TimingUpdate(benchmark::State& state, const std::string& name) {
   auto& flow = flow_for(name);
   for (auto _ : state) {
@@ -167,6 +239,13 @@ BENCHMARK_CAPTURE(BM_MonteCarloThreads, c880, std::string("c880"))
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SizerThreads, c880, std::string("c880"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WhatIfConfirm, c880, std::string("c880"))
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -1,22 +1,26 @@
-// Side-by-side of the four statistical timing engines on one workload:
-//   FULLSSTA   — discrete-pdf propagation (the paper's accurate outer engine)
-//   FASSTA     — Clark-moment propagation  (the paper's fast inner engine)
+// Side-by-side of the statistical timing engines on one workload — every
+// engine selected by registry name through the unified timing::Analyzer
+// interface (timing::make_analyzer), no per-engine plumbing:
+//   fullssta   — discrete-pdf propagation (the paper's accurate outer engine)
+//   fassta     — Clark-moment propagation  (the paper's fast inner engine)
 //   canonical  — first-order form with a shared global variable (extension)
-//   MonteCarlo — sampling reference
+//   mc         — Monte-Carlo sampling reference
+//   dsta       — deterministic STA (mean only; sigma = 0)
 // Including what happens when a correlated (global) variation component is
 // switched on: the independence-based engines underestimate sigma, the
 // canonical engine tracks it.
 //
-// Usage: engine_comparison [circuit] (default alu2)
+// Usage: engine_comparison [circuit] [engine ...]
+//        (default: alu2, every registered engine)
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/flow.h"
-#include "fassta/engine.h"
-#include "ssta/canonical.h"
-#include "ssta/fullssta.h"
-#include "ssta/monte_carlo.h"
+#include "timing/analyzer.h"
 #include "util/table.h"
 
 using namespace statsizer;
@@ -31,60 +35,59 @@ double time_ms(Fn&& fn) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
-void compare(const std::string& name, double global_fraction) {
+int compare(const std::string& name, const std::vector<std::string>& engines,
+            double global_fraction) {
   core::FlowOptions options;
   options.variation.global_fraction = global_fraction;
   core::Flow flow(options);
   if (const Status s = flow.load_table1(name); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
-    return;
+    return 1;
   }
   (void)flow.run_baseline();
-  auto& ctx = flow.timing();
 
-  util::Table t({"engine", "mu (ps)", "sigma (ps)", "runtime (ms)"});
-
-  ssta::FullSstaResult full;
-  t.add_row({"FULLSSTA (13 pdf samples)",
-             util::fmt((full = ssta::run_fullssta(ctx)).mean_ps, 1),
-             util::fmt(full.sigma_ps, 2),
-             util::fmt(time_ms([&] { (void)ssta::run_fullssta(ctx); }), 2)});
-
-  const fassta::Engine engine(ctx);
-  sta::NodeMoments fm;
-  (void)engine.run(&fm);
-  t.add_row({"FASSTA (Clark moments)", util::fmt(fm.mean_ps, 1),
-             util::fmt(fm.sigma_ps, 2), util::fmt(time_ms([&] {
-               sta::NodeMoments m;
-               (void)engine.run(&m);
-             }),
-                                                  2)});
-
-  const ssta::CanonicalResult can = ssta::run_canonical(ctx);
-  t.add_row({"canonical (1 global PC)", util::fmt(can.mean_ps, 1),
-             util::fmt(can.sigma_ps, 2),
-             util::fmt(time_ms([&] { (void)ssta::run_canonical(ctx); }), 2)});
-
-  ssta::MonteCarloOptions mc_opt;
-  mc_opt.samples = 10000;
-  const ssta::MonteCarloResult mc = ssta::run_monte_carlo(ctx, mc_opt);
-  t.add_row({"Monte Carlo (10k samples)", util::fmt(mc.mean_ps, 1),
-             util::fmt(mc.sigma_ps, 2),
-             util::fmt(time_ms([&] { (void)ssta::run_monte_carlo(ctx, mc_opt); }), 2)});
-
+  util::Table t({"engine", "mu (ps)", "sigma (ps)", "runtime (ms)", "what-if"});
+  for (const std::string& engine : engines) {
+    // Names were validated up front in main().
+    const std::unique_ptr<timing::Analyzer> analyzer = flow.make_analyzer(engine);
+    // Copy: the timed re-analyze below invalidates the returned reference.
+    const timing::Summary s = analyzer->analyze(flow.timing());
+    const double ms = time_ms([&] { (void)analyzer->analyze(flow.timing()); });
+    const timing::Capabilities caps = analyzer->capabilities();
+    t.add_row({engine, util::fmt(s.mean_ps, 1), util::fmt(s.sigma_ps, 2),
+               util::fmt(ms, 2),
+               caps.concurrent_speculations ? "parallel"
+                                            : (caps.what_if ? "serial" : "-")});
+  }
   std::printf("global_fraction = %.1f\n%s\n", global_fraction, t.to_string().c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "alu2";
+  std::vector<std::string> engines;
+  for (int i = 2; i < argc; ++i) engines.emplace_back(argv[i]);
+  if (engines.empty()) engines = timing::analyzer_names();
+  // Fail on a typo before paying for the baseline optimization.
+  for (const std::string& engine : engines) {
+    try {
+      (void)timing::make_analyzer(engine);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
   std::printf("engine comparison on %s\n\n", name.c_str());
-  compare(name, 0.0);  // independent variation: all engines should agree-ish
-  compare(name, 0.6);  // strong global correlation: canonical tracks MC
+  // Independent variation: all statistical engines should agree-ish.
+  if (const int rc = compare(name, engines, 0.0); rc != 0) return rc;
+  // Strong global correlation: canonical tracks MC.
+  if (const int rc = compare(name, engines, 0.6); rc != 0) return rc;
   std::printf(
       "note: with correlated variation the independence-based engines\n"
-      "(FULLSSTA/FASSTA) underestimate sigma — the gap the paper's section\n"
+      "(fullssta/fassta) underestimate sigma — the gap the paper's section\n"
       "4.3 assigns to the correlation-aware outer loop (PCA et al.).\n");
   return 0;
 }

@@ -43,8 +43,10 @@ if [[ "${ASAN}" == 1 ]]; then
   # Sanitized pass over the fast tests (the long end-to-end flows are covered
   # by the normal build; under ASan they would dominate the wall clock).
   # SizerParallel stays in: it exercises the concurrent candidate-scoring
-  # kernel and per-worker scratch reuse — exactly where memory bugs would
-  # surface — at ~10 s sanitized.
+  # kernel, per-worker scratch reuse, AND the parallel speculative what-if
+  # confirmations — exactly where memory bugs would surface — at ~10 s
+  # sanitized. AnalyzerConformance/FullSstaWhatIf stay in too: the overlay
+  # engine's private-state discipline is what the sanitizer should see.
   CTEST_EXTRA=(-E 'FlowRegression|Table1|StatisticalSizer')
   run_suite build-asan -DSTATSIZER_SANITIZE=ON -DSTATSIZER_BUILD_BENCHES=OFF \
     -DSTATSIZER_BUILD_EXAMPLES=OFF

@@ -54,6 +54,8 @@ opt::DeterministicSizerStats Flow::run_baseline() {
   opt::StatisticalSizerOptions polish;
   polish.objective.lambda = 0.0;
   polish.threads = options_.sizer_threads;
+  polish.confirm_engine = options_.confirm_engine;
+  polish.score_engine = options_.score_engine;
   // Bounded effort on large circuits: the polish exists to put the baseline
   // at its E[max] optimum, and diminishing returns set in well before the
   // default cap on multi-thousand-gate netlists.
@@ -87,7 +89,11 @@ OptimizationRecord Flow::optimize(double lambda,
 
   opt::StatisticalSizerOptions sizer = overrides != nullptr ? *overrides
                                                             : opt::StatisticalSizerOptions{};
-  if (overrides == nullptr) sizer.threads = options_.sizer_threads;
+  if (overrides == nullptr) {
+    sizer.threads = options_.sizer_threads;
+    sizer.confirm_engine = options_.confirm_engine;
+    sizer.score_engine = options_.score_engine;
+  }
   sizer.objective.lambda = lambda;
   sizer.fullssta = options_.fullssta;
 
@@ -102,12 +108,10 @@ OptimizationRecord Flow::optimize(double lambda,
   recovery.objective = sizer.objective;
   recovery.tolerance = 0.002;
   (void)opt::recover_area(*context_, recovery);
-  {
-    const ssta::FullSstaResult final_full = ssta::run_fullssta(*context_, options_.fullssta);
-    stats.final_.mean_ps = final_full.mean_ps;
-    stats.final_.sigma_ps = final_full.sigma_ps;
-    stats.final_.area_um2 = context_->area_um2();
-  }
+  ssta::FullSstaResult final_full = ssta::run_fullssta(*context_, options_.fullssta);
+  stats.final_.mean_ps = final_full.mean_ps;
+  stats.final_.sigma_ps = final_full.sigma_ps;
+  stats.final_.area_um2 = context_->area_um2();
   const auto t1 = std::chrono::steady_clock::now();
 
   OptimizationRecord rec;
@@ -126,7 +130,8 @@ OptimizationRecord Flow::optimize(double lambda,
   rec.iterations = stats.iterations;
   rec.resizes = stats.resizes;
   rec.runtime_seconds = std::chrono::duration<double>(t1 - t0).count();
-  rec.output_pdf = full_analysis().output_pdf;
+  // The final analysis above already holds the pdf of this exact state.
+  rec.output_pdf = std::move(final_full.output_pdf);
   return rec;
 }
 
@@ -181,6 +186,12 @@ opt::CircuitStats Flow::analyze() const {
 ssta::FullSstaResult Flow::full_analysis() const {
   if (!has_circuit()) throw std::logic_error("Flow::full_analysis: no circuit loaded");
   return ssta::run_fullssta(*context_, options_.fullssta);
+}
+
+std::unique_ptr<timing::Analyzer> Flow::make_analyzer(std::string_view name) const {
+  timing::AnalyzerOptions analyzer_options;
+  analyzer_options.fullssta = options_.fullssta;
+  return timing::make_analyzer(name, analyzer_options);
 }
 
 }  // namespace statsizer::core

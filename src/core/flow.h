@@ -29,6 +29,7 @@
 #include "ssta/fullssta.h"
 #include "ssta/monte_carlo.h"
 #include "techmap/mapper.h"
+#include "timing/analyzer.h"
 #include "util/status.h"
 #include "variation/model.h"
 
@@ -55,6 +56,14 @@ struct FlowOptions {
   /// passed (explicit overrides carry their own threads field). 1 = serial,
   /// 0 = hardware concurrency; results are identical for any value.
   std::size_t sizer_threads = 1;
+  /// Engine selection for the statistical sizer (timing::make_analyzer
+  /// registry names), applied — like sizer_threads — to run_baseline's
+  /// polish stages and to optimize() without overrides. confirm_engine is
+  /// the accurate acceptance engine (needs what-if + per-node moments);
+  /// score_engine is the fast inner-loop scorer ("fassta" = the specialized
+  /// kernel).
+  std::string confirm_engine = "fullssta";
+  std::string score_engine = "fassta";
 };
 
 /// Everything one statistical optimization run produced.
@@ -127,6 +136,11 @@ class Flow {
   [[nodiscard]] opt::CircuitStats analyze() const;
   /// Full FULLSSTA result (pdfs, per-node moments).
   [[nodiscard]] ssta::FullSstaResult full_analysis() const;
+  /// A timing::Analyzer from the registry, configured with this flow's
+  /// engine options (not yet bound: call ->analyze(flow.timing())). Throws
+  /// std::invalid_argument for unknown names.
+  [[nodiscard]] std::unique_ptr<timing::Analyzer> make_analyzer(
+      std::string_view name = "fullssta") const;
 
   // -- access -------------------------------------------------------------------
   [[nodiscard]] bool has_circuit() const { return netlist_ != nullptr; }

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <span>
+#include <stdexcept>
 
 #include "netlist/subcircuit.h"
+#include "timing/analyzer.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
@@ -49,15 +53,29 @@ CandidateJobs list_candidates(const netlist::Netlist& nl, const liberty::Library
   return out;
 }
 
+/// The fast-engine side of the inner loop: either the specialized fassta
+/// kernel (score_engine == "fassta", the default — per-worker Scratch, zero
+/// per-candidate allocation) or any other registry engine speculating
+/// through the timing::Analyzer interface.
+struct InnerScorer {
+  const fassta::Engine* fassta = nullptr;   ///< fast path when non-null
+  timing::Analyzer* analyzer = nullptr;     ///< registry path otherwise
+  /// Registry path only: the analyzer's base matches the current snapshot,
+  /// so score_candidates can skip the from-scratch re-base. The sizer clears
+  /// this whenever a confirmation commits (netlist + snapshot moved).
+  bool base_current = false;
+};
+
 /// The parallel candidate-scoring kernel shared by the plan stage and the
 /// rescue sweeps' prescoring. Fans the fast-engine evaluations across
 /// options.threads workers: every worker reads the same const TimingContext
-/// snapshot through the shared Engine and reuses a private fassta scratch;
-/// slot i of the result is written exactly once by whichever worker draws it,
-/// and the scores themselves do not depend on evaluation order — so the
-/// returned array is bitwise-identical for any thread count.
-std::vector<double> score_candidates(const sta::TimingContext& ctx,
-                                     const fassta::Engine& engine,
+/// snapshot (through the shared Engine or Analyzer) and keeps its mutable
+/// state private (a fassta Scratch, or a Speculation's overlay); slot i of
+/// the result is written exactly once by whichever worker draws it, and the
+/// scores themselves do not depend on evaluation order — so the returned
+/// array is bitwise-identical for any thread count.
+std::vector<double> score_candidates(sta::TimingContext& ctx,
+                                     InnerScorer& scorer,
                                      const StatisticalSizerOptions& options,
                                      InnerScoring scoring,
                                      std::span<const CandidateJob> jobs,
@@ -71,6 +89,27 @@ std::vector<double> score_candidates(const sta::TimingContext& ctx,
   // per job) amortizes across several candidates; chunk geometry is a pure
   // function of the job count, never of the thread count.
   constexpr std::size_t kChunk = 8;
+
+  if (scorer.fassta == nullptr) {
+    timing::Analyzer& analyzer = *scorer.analyzer;
+    if (!scorer.base_current) {
+      (void)analyzer.analyze(ctx);  // re-base against the frozen snapshot
+      scorer.base_current = true;
+    }
+    const std::size_t threads =
+        analyzer.capabilities().concurrent_speculations ? options.threads : 1;
+    util::parallel_for(jobs.size(), kChunk, threads,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const auto spec = analyzer.propose(jobs[i].gate, jobs[i].size);
+                           const timing::Summary& s = spec->score();
+                           costs[i] = obj.cost(s.mean_ps, s.sigma_ps);
+                         }
+                       });
+    return costs;
+  }
+
+  const fassta::Engine& engine = *scorer.fassta;
   util::parallel_for(
       jobs.size(), kChunk, options.threads,
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -100,12 +139,12 @@ std::vector<double> score_candidates(const sta::TimingContext& ctx,
   return costs;
 }
 
-CircuitStats stats_of(const sta::TimingContext& ctx, const ssta::FullSstaResult& full) {
-  CircuitStats s;
-  s.mean_ps = full.mean_ps;
-  s.sigma_ps = full.sigma_ps;
-  s.area_um2 = ctx.area_um2();
-  return s;
+CircuitStats stats_of(const sta::TimingContext& ctx, const timing::Summary& s) {
+  CircuitStats out;
+  out.mean_ps = s.mean_ps;
+  out.sigma_ps = s.sigma_ps;
+  out.area_um2 = ctx.area_um2();
+  return out;
 }
 
 }  // namespace
@@ -115,21 +154,37 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
   auto& nl = ctx.mutable_netlist();
   const auto& lib = ctx.library();
   const Objective& obj = options.objective;
+
+  // Engine selection through the timing::Analyzer registry. The fassta
+  // score engine keeps the specialized kernel below; everything accurate
+  // goes through the confirm analyzer's transactional what-if API.
+  timing::AnalyzerOptions engine_options;
+  engine_options.fullssta = options.fullssta;
+  engine_options.fassta = options.fassta;
+  const bool fassta_scorer = options.score_engine == "fassta";
+  if (!fassta_scorer && options.scoring == InnerScoring::kSubcircuit) {
+    throw std::invalid_argument(
+        "InnerScoring::kSubcircuit requires score_engine == \"fassta\"");
+  }
+  const std::unique_ptr<timing::Analyzer> confirm =
+      timing::make_analyzer(options.confirm_engine, engine_options);
+  if (!confirm->capabilities().what_if || !confirm->capabilities().per_node_moments) {
+    throw std::invalid_argument("confirm engine \"" + options.confirm_engine +
+                                "\" lacks what-if speculation or per-node moments");
+  }
   const fassta::Engine engine(ctx, options.fassta);
+  std::unique_ptr<timing::Analyzer> score_analyzer;
+  if (!fassta_scorer) {
+    score_analyzer = timing::make_analyzer(options.score_engine, engine_options);
+  }
+  InnerScorer scorer{fassta_scorer ? &engine : nullptr, score_analyzer.get()};
 
   StatisticalSizerStats stats;
 
   ctx.update();
-  ssta::FullSstaResult full = ssta::run_fullssta(ctx, options.fullssta);
-  stats.initial = stats_of(ctx, full);
-  double global_cost = obj.cost(full.mean_ps, full.sigma_ps);
-
-  // Accurate cost of the context's current state.
-  const auto accurate_cost = [&]() {
-    ctx.update();
-    const ssta::FullSstaResult r = ssta::run_fullssta(ctx, options.fullssta);
-    return obj.cost(r.mean_ps, r.sigma_ps);
-  };
+  const timing::Summary* full = &confirm->analyze(ctx);
+  stats.initial = stats_of(ctx, *full);
+  double global_cost = obj.cost(full->mean_ps, full->sigma_ps);
 
   const auto record = [&](GateId gate, std::uint16_t from, std::uint16_t to,
                           MoveSource source) {
@@ -137,13 +192,88 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
     stats.trajectory.push_back(ResizeEvent{stats.iterations, gate, from, to, source});
   };
 
+  // Wave-based speculative confirmation of a fixed-order candidate list.
+  // Each wave proposes a speculation per remaining candidate against the
+  // committed base, scores them — in parallel when the confirm engine
+  // supports concurrent speculations — then walks the fixed order and
+  // commits the first improvement. The commit invalidates the wave (the
+  // base moved), so the tail re-speculates against the new base: candidate
+  // i is always judged against the state containing exactly the commits
+  // ordered before it, which is the serial trial loop's semantics. Scores
+  // are pure functions of (base, candidate), so the decisions — and every
+  // downstream result — are bitwise-identical for any thread count, and
+  // identical between the lazy serial walk and the prescored parallel wave.
+  const bool parallel_confirm =
+      confirm->capabilities().concurrent_speculations && options.threads != 1;
+  // Parallel waves are windowed to a few times the worker count: a commit
+  // invalidates every score after it in the wave, so an unbounded wave would
+  // waste O(commits x tail) speculative scores (and hold that many overlays
+  // in memory at once). The serial path scores lazily, so its window is the
+  // whole tail. The window size never changes the committed sequence — each
+  // candidate is judged against the state holding exactly the commits
+  // ordered before it, whatever the window boundaries.
+  const std::size_t wave_limit =
+      parallel_confirm
+          ? 4 * (options.threads == 0 ? util::ThreadPool::default_thread_count()
+                                      : options.threads)
+          : std::numeric_limits<std::size_t>::max();
+  const auto confirm_in_order = [&](std::span<const timing::Resize> ordered,
+                                    double& accepted_cost, MoveSource source) {
+    std::size_t kept = 0;
+    std::size_t next = 0;
+    std::vector<std::unique_ptr<timing::Speculation>> specs;
+    while (next < ordered.size()) {
+      const std::size_t count = std::min(ordered.size() - next, wave_limit);
+      specs.clear();
+      specs.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const timing::Resize& c = ordered[next + i];
+        if (nl.gate(c.gate).size_index == c.size) continue;  // earlier commit moved it here
+        specs[i] = confirm->propose(c.gate, c.size);
+      }
+      if (parallel_confirm) {
+        // Chunk 1: trials are coarse (a fanout-cone re-propagation each).
+        util::parallel_for(count, 1, options.threads,
+                           [&](std::size_t begin, std::size_t end, std::size_t) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               if (specs[i] != nullptr) (void)specs[i]->score();
+                             }
+                           });
+      }
+      bool committed = false;
+      for (std::size_t i = 0; i < count && !committed; ++i) {
+        if (specs[i] == nullptr) continue;
+        const timing::Summary& s = specs[i]->score();  // cached when prescored
+        const double cost = obj.cost(s.mean_ps, s.sigma_ps);
+        if (cost < accepted_cost - options.min_improvement) {
+          const timing::Resize& c = ordered[next + i];
+          const std::uint16_t from = nl.gate(c.gate).size_index;
+          specs[i]->commit();
+          scorer.base_current = false;  // the snapshot moved under the scorer
+          accepted_cost = cost;
+          ++kept;
+          record(c.gate, from, c.size, source);
+          next += i + 1;
+          committed = true;
+        } else {
+          // A rejected trial's cached score is never reread — free its
+          // O(nodes) overlay now instead of holding every rejected overlay
+          // until the window ends (the serial path's window is unbounded).
+          specs[i].reset();
+        }
+      }
+      if (!committed) next += count;  // whole window rejected: move on
+    }
+    return kept;
+  };
+
   for (stats.iterations = 0; stats.iterations < options.max_iterations; ++stats.iterations) {
-    if (options.target_sigma_ps.has_value() && full.sigma_ps <= *options.target_sigma_ps) {
+    if (options.target_sigma_ps.has_value() && full->sigma_ps <= *options.target_sigma_ps) {
       stats.constraints_met = true;
       break;
     }
 
-    const WnssTrace trace = trace_wnss(ctx, full.node, options.wnss);
+    const WnssTrace trace = trace_wnss(ctx, full->node, options.wnss);
     if (trace.path.empty()) break;
 
     // Downstream statistical potential per node (only the subcircuit scoring
@@ -160,7 +290,7 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
     const CandidateJobs cand = list_candidates(nl, lib, trace.path);
     stats.fassta_evaluations += cand.jobs.size();
     const std::vector<double> costs = score_candidates(
-        ctx, engine, options, options.scoring, cand.jobs, full.node, downstream);
+        ctx, scorer, options, options.scoring, cand.jobs, full->node, downstream);
 
     std::vector<PlannedResize> plan;
     for (std::size_t gi = 0; gi < trace.path.size(); ++gi) {
@@ -189,57 +319,55 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
     double accepted_cost = global_cost;
 
     if (!plan.empty()) {
-      // Batch commit, verified against the accurate global objective.
-      const auto before_sizes = nl.sizes();
-      for (const PlannedResize& r : plan) nl.gate(r.gate).size_index = r.new_size;
-      const double batch_cost = accurate_cost();
+      // Batch commit: one multi-resize speculation, verified against the
+      // accurate global objective, accepted or rolled back atomically.
+      std::vector<timing::Resize> batch;
+      batch.reserve(plan.size());
+      for (const PlannedResize& r : plan) batch.push_back(timing::Resize{r.gate, r.new_size});
+      auto batch_spec = confirm->propose_resizes(batch);
+      const timing::Summary& batch_summary = batch_spec->score();
+      const double batch_cost = obj.cost(batch_summary.mean_ps, batch_summary.sigma_ps);
       if (batch_cost < global_cost - options.min_improvement) {
+        for (const PlannedResize& r : plan) {
+          record(r.gate, nl.gate(r.gate).size_index, r.new_size, MoveSource::kPlan);
+        }
+        batch_spec->commit();
+        scorer.base_current = false;  // the snapshot moved under the scorer
         accepted = plan.size();
         accepted_cost = batch_cost;
-        for (const PlannedResize& r : plan) {
-          record(r.gate, before_sizes[r.gate], r.new_size, MoveSource::kPlan);
-        }
       } else {
         // Roll back, then retry one at a time in descending predicted gain.
+        batch_spec->rollback();
         STATSIZER_DEBUG() << "iter " << stats.iterations << ": batch of " << plan.size()
                           << " rejected (" << global_cost << " -> " << batch_cost
                           << "), trying singles";
-        nl.set_sizes(before_sizes);
         std::sort(plan.begin(), plan.end(),
                   [](const PlannedResize& a, const PlannedResize& b) {
                     return a.predicted_gain > b.predicted_gain;
                   });
+        std::vector<timing::Resize> singles;
+        singles.reserve(plan.size());
         for (const PlannedResize& r : plan) {
-          const std::uint16_t keep = nl.gate(r.gate).size_index;
-          nl.gate(r.gate).size_index = r.new_size;
-          const double c = accurate_cost();
-          if (c < accepted_cost - options.min_improvement) {
-            accepted_cost = c;
-            ++accepted;
-            record(r.gate, keep, r.new_size, MoveSource::kSingle);
-          } else {
-            nl.gate(r.gate).size_index = keep;
-          }
+          singles.push_back(timing::Resize{r.gate, r.new_size});
         }
+        accepted += confirm_in_order(singles, accepted_cost, MoveSource::kSingle);
       }
     }
 
     // Bounded exact-engine sweep over a gate list: the fast engine prescores
     // every (gate, size) candidate in parallel — the same kernel as the plan
     // stage — to order the trials by predicted gain; the accurate engine then
-    // serially confirms every candidate in that fixed order (each trial's
-    // basis includes the moves confirmed before it, which is why this stage
-    // cannot fan out). The prescore only orders, never filters: engine
-    // disagreement is exactly what this rescue exists for.
+    // confirms the candidates in that fixed order through speculative
+    // what-ifs (each wave scores in parallel, commits apply serially, and a
+    // trial's basis always includes exactly the moves confirmed before it).
+    // The prescore only orders, never filters: engine disagreement is
+    // exactly what this rescue exists for.
     const auto exact_sweep = [&](std::span<const GateId> gates, MoveSource source) {
-      // Re-sync the snapshot: a rejected trial above leaves the timing state
-      // one update behind the (reverted) netlist.
-      ctx.update();
       const CandidateJobs sweep = list_candidates(nl, lib, gates);
       stats.fassta_evaluations += sweep.jobs.size();
       const std::vector<double> prescores =
-          score_candidates(ctx, engine, options, InnerScoring::kGlobalFassta, sweep.jobs,
-                           full.node, {});
+          score_candidates(ctx, scorer, options, InnerScoring::kGlobalFassta, sweep.jobs,
+                           full->node, {});
 
       struct RescueCandidate {
         GateId gate = netlist::kNoGate;
@@ -266,20 +394,12 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
                   return a.job_index < b.job_index;
                 });
 
-      std::size_t kept = 0;
+      std::vector<timing::Resize> trials;
+      trials.reserve(ordered.size());
       for (const RescueCandidate& c : ordered) {
-        const std::uint16_t keep = nl.gate(c.gate).size_index;
-        if (c.size == keep) continue;  // an earlier confirm moved the gate here
-        nl.gate(c.gate).size_index = c.size;
-        const double cost = accurate_cost();
-        if (cost < accepted_cost - options.min_improvement) {
-          accepted_cost = cost;
-          ++kept;
-          record(c.gate, keep, c.size, source);
-        } else {
-          nl.gate(c.gate).size_index = keep;
-        }
+        trials.push_back(timing::Resize{c.gate, c.size});
       }
+      const std::size_t kept = confirm_in_order(trials, accepted_cost, source);
       stats.exact_resizes += kept;
       return kept;
     };
@@ -299,10 +419,8 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
     // ---- move source 3: netlist-wide sweep of the fattest arcs -------------
     if (accepted == 0 && stats.global_sweeps < options.max_global_sweeps) {
       ++stats.global_sweeps;
-      // Re-sync before ranking: a rejected trial above leaves the snapshot
-      // one update behind the (reverted) netlist, which would mis-rank the
-      // arc sigmas here.
-      ctx.update();
+      // The snapshot is always in sync here: trials are speculative (they
+      // never touch the netlist) and every commit refreshed the context.
       std::vector<GateId> fat;
       for (GateId g = 0; g < nl.node_count(); ++g) {
         if (ctx.has_cell(g)) fat.push_back(g);
@@ -325,12 +443,12 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
     // ---- move source 4: coordinated population bump -------------------------
     // Balanced fabrics (wide XOR trees) spread the output variance over
     // thousands of near-identical paths; no single-gate move registers, but a
-    // whole-population upsize halves sigma at once (sigma ~ 1/drive).
+    // whole-population upsize halves sigma at once (sigma ~ 1/drive). The
+    // bump is one multi-resize speculation: scored without touching the
+    // netlist, committed (or discarded) atomically.
     if (accepted == 0 && stats.uniform_bump_rounds < options.max_uniform_bumps) {
       ++stats.uniform_bump_rounds;
-      ctx.update();  // same re-sync: the drive median below reads the snapshot
       const auto try_bump = [&](bool only_small) {
-        const auto before = nl.sizes();
         double median_drive = 1.0;
         if (only_small) {
           std::vector<double> drives;
@@ -340,23 +458,27 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
           std::sort(drives.begin(), drives.end());
           if (!drives.empty()) median_drive = drives[drives.size() / 2];
         }
-        bool any = false;
+        std::vector<timing::Resize> ups;
         for (GateId g = 0; g < nl.node_count(); ++g) {
           if (!ctx.has_cell(g)) continue;
           if (only_small && ctx.drive(g) > median_drive) continue;
           const auto& group = lib.group(nl.gate(g).cell_group);
           if (nl.gate(g).size_index + 1u < group.size_count()) {
-            ++nl.gate(g).size_index;
-            any = true;
+            ups.push_back(
+                timing::Resize{g, static_cast<std::uint16_t>(nl.gate(g).size_index + 1)});
           }
         }
-        if (!any) return false;
-        const double c = accurate_cost();
+        if (ups.empty()) return false;
+        auto spec = confirm->propose_resizes(ups);
+        const timing::Summary& s = spec->score();
+        const double c = obj.cost(s.mean_ps, s.sigma_ps);
         if (c < accepted_cost - options.min_improvement) {
+          spec->commit();
+          scorer.base_current = false;  // the snapshot moved under the scorer
           accepted_cost = c;
           return true;
         }
-        nl.set_sizes(before);
+        spec->rollback();
         return false;
       };
       if (try_bump(/*only_small=*/false) || try_bump(/*only_small=*/true)) {
@@ -366,24 +488,24 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
       }
     }
 
-    if (accepted == 0) {
-      ctx.update();
-      break;  // converged: no confirmed move from any source
-    }
+    if (accepted == 0) break;  // converged: no confirmed move from any source
     stats.resizes += accepted;
 
-    ctx.update();
-    full = ssta::run_fullssta(ctx, options.fullssta);
-    global_cost = obj.cost(full.mean_ps, full.sigma_ps);
+    // The committed base IS the refreshed accurate analysis: every commit
+    // merged its overlay into the analyzer's summary, so the back-to-back
+    // update() + run_fullssta() refreshes that used to live here (and at
+    // the function exit) are gone.
+    full = &confirm->current();
+    global_cost = obj.cost(full->mean_ps, full->sigma_ps);
     STATSIZER_DEBUG() << "iter " << stats.iterations << ": cost " << global_cost
-                      << " (mu " << full.mean_ps << ", sigma " << full.sigma_ps << ")";
+                      << " (mu " << full->mean_ps << ", sigma " << full->sigma_ps << ")";
   }
 
-  // Final accurate analysis for the report (netlist state is already final).
-  ctx.update();
-  full = ssta::run_fullssta(ctx, options.fullssta);
-  stats.final_ = stats_of(ctx, full);
-  if (options.target_sigma_ps.has_value() && full.sigma_ps <= *options.target_sigma_ps) {
+  // Final report from the analyzer's committed base (netlist, snapshot, and
+  // summary are already in their final state — nothing to recompute).
+  stats.final_ = stats_of(ctx, confirm->current());
+  if (options.target_sigma_ps.has_value() &&
+      confirm->current().sigma_ps <= *options.target_sigma_ps) {
     stats.constraints_met = true;
   }
   return stats;

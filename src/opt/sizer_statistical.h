@@ -24,14 +24,23 @@
 // chosen plan, the whole optimization trajectory, StatisticalSizerStats, and
 // the final sizes are bitwise-identical for any thread count (the same
 // contract as the parallel Monte-Carlo engine; see docs/ARCHITECTURE.md,
-// "Concurrency & determinism contracts"). The accurate FULLSSTA
-// confirmations stay serial: each trial mutates the netlist and rebuilds the
-// timing snapshot, and acceptance depends on what was accepted before it.
+// "Concurrency & determinism contracts").
+//
+// The accurate confirmations (batch acceptance, the singles retry, the
+// rescue sweeps) run through the timing::Analyzer what-if API: each trial is
+// a Speculation scored against the committed base without touching the
+// netlist or the snapshot. When the confirm engine supports concurrent
+// speculations (FULLSSTA's incremental fanout-cone overlay does), a whole
+// wave of pending trials is scored in parallel and commits are applied
+// serially in the fixed gain order — the decisions, and therefore every
+// result, are bitwise-identical to the serial trial loop for any thread
+// count.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "fassta/engine.h"
@@ -74,6 +83,16 @@ struct StatisticalSizerOptions {
   ssta::FullSstaOptions fullssta;          ///< outer-engine controls
   fassta::EngineOptions fassta;            ///< inner-engine controls
   WnssOptions wnss;                        ///< tracer controls
+  /// Accurate confirmation engine, resolved through timing::make_analyzer.
+  /// Must support what-if speculation and per-node moments (WNSS tracing).
+  /// Default: the paper's FULLSSTA, whose incremental what-if lets rescue
+  /// confirmations score in parallel.
+  std::string confirm_engine = "fullssta";
+  /// Fast candidate-scoring engine (registry name). "fassta" uses the
+  /// specialized zero-allocation kernel (and is required for
+  /// InnerScoring::kSubcircuit); any other registered engine scores through
+  /// timing::Analyzer speculations.
+  std::string score_engine = "fassta";
   /// Optional constraint mode: stop as soon as sigma reaches this target.
   std::optional<double> target_sigma_ps;
 
@@ -121,6 +140,9 @@ struct ResizeEvent {
 struct StatisticalSizerStats {
   std::size_t iterations = 0;
   std::size_t resizes = 0;
+  /// Inner-scorer candidate evaluations (plan scoring + rescue prescoring).
+  /// Counted for whichever score_engine ran — the name reflects the default
+  /// fassta kernel.
   std::size_t fassta_evaluations = 0;
   /// Resizes confirmed by the exact rescue sweeps (fallback + global).
   std::size_t exact_resizes = 0;

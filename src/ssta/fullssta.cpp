@@ -41,6 +41,7 @@ FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions
   result.output_pdf = std::move(out);
   result.mean_ps = result.output_pdf.mean();
   result.sigma_ps = result.output_pdf.stddev();
+  if (options.keep_node_pdfs) result.node_pdf = std::move(arrival);
   return result;
 }
 

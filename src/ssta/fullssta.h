@@ -18,11 +18,17 @@ namespace statsizer::ssta {
 struct FullSstaOptions {
   std::size_t samples_per_pdf = 13;  ///< paper: "10-15 samples per pdf"
   double span_sigmas = 4.0;          ///< grid half-width for gate-delay pdfs
+  /// Also return the arrival pdf of every node (FullSstaResult::node_pdf).
+  /// Off by default: the pdfs are only needed by consumers that re-propagate
+  /// increments against them (timing::Analyzer's what-if overlay).
+  bool keep_node_pdfs = false;
 };
 
 struct FullSstaResult {
   /// Arrival moments per node (indexed by GateId).
   std::vector<sta::NodeMoments> node;
+  /// Arrival pdf per node (indexed by GateId; only if keep_node_pdfs).
+  std::vector<pdf::DiscretePdf> node_pdf;
   /// Arrival pdf of the statistical max over all primary outputs: the random
   /// variable RV_O that "characterizes the mean and variance of the entire
   /// circuit" (paper section 2.1).

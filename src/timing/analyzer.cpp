@@ -1,0 +1,438 @@
+// Registry plus the FASSTA / DSTA / Monte-Carlo adapters. The FULLSSTA
+// adapter (the incremental what-if overlay) lives in fullssta_analyzer.cpp.
+#include "timing/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "ssta/canonical.h"
+#include "sta/dsta.h"
+#include "timing/analyzer_impl.h"
+
+namespace statsizer::timing {
+
+namespace detail {
+
+void BoundAnalyzer::validate_resizes(std::span<const Resize> resizes) const {
+  const sta::TimingContext& ctx = bound();
+  if (!has_base_) {
+    throw std::logic_error(std::string(name()) + ": propose() before analyze()");
+  }
+  if (resizes.empty()) {
+    throw std::invalid_argument(std::string(name()) + ": propose() with no resizes");
+  }
+  const auto& nl = ctx.netlist();
+  for (const Resize& r : resizes) {
+    if (r.gate >= nl.node_count() || !ctx.has_cell(r.gate)) {
+      throw std::invalid_argument(std::string(name()) + ": propose() on unmapped gate");
+    }
+    const auto& group = ctx.library().group(nl.gate(r.gate).cell_group);
+    if (r.size >= group.size_count()) {
+      throw std::invalid_argument(std::string(name()) + ": size index out of range for " +
+                                  nl.gate(r.gate).name);
+    }
+  }
+  // Duplicate-gate detection, sized to the batch: the hot paths propose
+  // single resizes (vacuously duplicate-free, no allocation), small batches
+  // compare pairwise, and only the netlist-wide population bumps pay for a
+  // seen-flag vector.
+  if (resizes.size() < 2) return;
+  if (resizes.size() <= 32) {
+    for (std::size_t i = 1; i < resizes.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (resizes[j].gate == resizes[i].gate) {
+          throw std::invalid_argument(std::string(name()) + ": duplicate gate " +
+                                      nl.gate(resizes[i].gate).name + " in one speculation");
+        }
+      }
+    }
+    return;
+  }
+  std::vector<std::uint8_t> seen(nl.node_count(), 0);
+  for (const Resize& r : resizes) {
+    if (seen[r.gate] != 0) {
+      throw std::invalid_argument(std::string(name()) + ": duplicate gate " +
+                                  nl.gate(r.gate).name + " in one speculation");
+    }
+    seen[r.gate] = 1;
+  }
+}
+
+namespace {
+
+/// The generic transactional fallback: score() applies the resizes, re-runs
+/// the engine from scratch, and reverts — exact by construction, but it
+/// mutates the shared TimingContext, so engines built on it report
+/// concurrent_speculations = false and must be scored serially.
+class SerializedSpeculation final : public Speculation {
+ public:
+  using Compute = std::function<Summary(sta::TimingContext&)>;
+
+  SerializedSpeculation(BoundAnalyzer& owner, sta::TimingContext& ctx,
+                        std::function<void(Summary)> install, Compute compute,
+                        std::span<const Resize> resizes)
+      : owner_(owner), ctx_(ctx), install_(std::move(install)), compute_(std::move(compute)),
+        epoch_(owner.epoch()) {
+    resizes_.assign(resizes.begin(), resizes.end());
+    old_sizes_.reserve(resizes_.size());
+    for (const Resize& r : resizes_) {
+      old_sizes_.push_back(ctx_.netlist().gate(r.gate).size_index);
+    }
+  }
+
+  const Summary& score() override {
+    if (scored_) return result_;  // cached scores stay readable after invalidation
+    owner_.guard_epoch(epoch_);
+    apply();
+    try {
+      ctx_.update();
+      result_ = compute_(ctx_);
+    } catch (...) {
+      // The transactional contract: score() must never leak the speculative
+      // state, even when the engine throws mid-evaluation.
+      revert();
+      ctx_.update();
+      throw;
+    }
+    revert();
+    ctx_.update();  // pure function of the (restored) sizes: bitwise no-op
+    scored_ = true;
+    return result_;
+  }
+
+  void commit() override {
+    if (committed_) return;  // uniform contract: a second commit is a no-op
+    owner_.guard_epoch(epoch_);
+    if (!scored_) (void)score();  // the base refresh reuses the scored summary
+    apply();
+    ctx_.update();
+    install_(result_);  // bumps the epoch, invalidating siblings
+    committed_ = true;
+  }
+
+  void rollback() override {}  // score() reverted eagerly; nothing was shared
+
+ private:
+  void apply() {
+    auto& nl = ctx_.mutable_netlist();
+    for (const Resize& r : resizes_) nl.gate(r.gate).size_index = r.size;
+  }
+  void revert() {
+    auto& nl = ctx_.mutable_netlist();
+    for (std::size_t i = 0; i < resizes_.size(); ++i) {
+      nl.gate(resizes_[i].gate).size_index = old_sizes_[i];
+    }
+  }
+
+  BoundAnalyzer& owner_;
+  sta::TimingContext& ctx_;
+  std::function<void(Summary)> install_;
+  Compute compute_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint16_t> old_sizes_;  ///< pre-propose sizes, for revert()
+  Summary result_;
+  bool scored_ = false;
+  bool committed_ = false;
+};
+
+/// Adapter base for engines whose what-if goes through the serialized
+/// fallback. Subclasses supply compute() (a from-scratch run).
+class SerializedAnalyzer : public BoundAnalyzer {
+ public:
+  const Summary& analyze(sta::TimingContext& ctx) override {
+    ctx_ = &ctx;
+    on_bind(ctx);
+    install_base(compute(ctx));
+    return current();
+  }
+
+  std::unique_ptr<Speculation> propose(netlist::GateId gate, std::uint16_t size) override {
+    const Resize r{gate, size};
+    return propose_resizes(std::span<const Resize>(&r, 1));
+  }
+
+  std::unique_ptr<Speculation> propose_resizes(std::span<const Resize> resizes) override {
+    validate_resizes(resizes);
+    return std::make_unique<SerializedSpeculation>(
+        *this, bound(), [this](Summary s) { install_base(std::move(s)); },
+        [this](sta::TimingContext& c) { return compute(c); }, resizes);
+  }
+
+ protected:
+  virtual Summary compute(sta::TimingContext& ctx) = 0;
+  virtual void on_bind(sta::TimingContext&) {}
+};
+
+// ---------------------------------------------------------------------------
+// FASSTA: moment-only fast engine. Single-resize speculations score through
+// the engine's const, re-entrant what-if (private Scratch per speculation),
+// so they may fan out in parallel; multi-resize batches fall back to the
+// serialized path. Scores reuse snapshot slews (the engine's documented
+// approximation), hence exact_speculation = false; commits refresh the base
+// with a from-scratch run.
+// ---------------------------------------------------------------------------
+
+class FasstaAnalyzer final : public SerializedAnalyzer {
+ public:
+  explicit FasstaAnalyzer(const AnalyzerOptions& options) : options_(options.fassta) {}
+
+  std::string_view name() const override { return "fassta"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.per_node_moments = true;
+    c.what_if = true;
+    c.concurrent_speculations = true;
+    return c;
+  }
+
+  std::unique_ptr<Speculation> propose(netlist::GateId gate, std::uint16_t size) override {
+    const Resize r{gate, size};
+    std::span<const Resize> span(&r, 1);
+    validate_resizes(span);
+    return std::make_unique<WhatIfSpeculation>(*this, bound(), span);
+  }
+
+ private:
+  class WhatIfSpeculation final : public Speculation {
+   public:
+    WhatIfSpeculation(FasstaAnalyzer& owner, sta::TimingContext& ctx,
+                      std::span<const Resize> resizes)
+        : owner_(owner), ctx_(ctx), epoch_(owner.epoch()) {
+      resizes_.assign(resizes.begin(), resizes.end());
+    }
+
+    const Summary& score() override {
+      if (scored_) return result_;  // cached scores stay readable after invalidation
+      owner_.guard_epoch(epoch_);
+      const auto& g = ctx_.netlist().gate(resizes_[0].gate);
+      const liberty::Cell& cell = ctx_.library().cell_for(g.cell_group, resizes_[0].size);
+      const sta::NodeMoments m =
+          owner_.engine_->run_with_candidate(resizes_[0].gate, cell, scratch_);
+      result_.mean_ps = m.mean_ps;
+      result_.sigma_ps = m.sigma_ps;
+      scored_ = true;
+      return result_;
+    }
+
+    void commit() override {
+      if (committed_) return;  // uniform contract: a second commit is a no-op
+      owner_.guard_epoch(epoch_);
+      ctx_.mutable_netlist().gate(resizes_[0].gate).size_index = resizes_[0].size;
+      ctx_.update();
+      owner_.install_base(owner_.compute(ctx_));
+      committed_ = true;
+    }
+
+    void rollback() override {}
+
+   private:
+    FasstaAnalyzer& owner_;
+    sta::TimingContext& ctx_;
+    std::uint64_t epoch_ = 0;
+    fassta::Engine::Scratch scratch_;
+    Summary result_;
+    bool scored_ = false;
+    bool committed_ = false;
+  };
+
+  Summary compute(sta::TimingContext& ctx) override {
+    Summary s;
+    sta::NodeMoments circuit;
+    s.node = engine_->run(&circuit);
+    s.mean_ps = circuit.mean_ps;
+    s.sigma_ps = circuit.sigma_ps;
+    (void)ctx;
+    return s;
+  }
+
+  void on_bind(sta::TimingContext& ctx) override { engine_.emplace(ctx, options_); }
+
+  fassta::EngineOptions options_;
+  std::optional<fassta::Engine> engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic STA: mean = latest primary-output arrival, sigma = 0.
+// ---------------------------------------------------------------------------
+
+class DstaAnalyzer final : public SerializedAnalyzer {
+ public:
+  explicit DstaAnalyzer(const AnalyzerOptions& options)
+      : clock_period_ps_(options.clock_period_ps) {}
+
+  std::string_view name() const override { return "dsta"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.per_node_moments = true;
+    c.what_if = true;
+    c.exact_speculation = true;
+    return c;
+  }
+
+ private:
+  Summary compute(sta::TimingContext& ctx) override {
+    const sta::DstaResult r = sta::run_dsta(ctx, clock_period_ps_);
+    Summary s;
+    s.mean_ps = r.max_arrival_ps;
+    s.sigma_ps = 0.0;
+    s.node.resize(r.arrival_ps.size());
+    for (std::size_t i = 0; i < r.arrival_ps.size(); ++i) {
+      s.node[i] = sta::NodeMoments{r.arrival_ps[i], 0.0};
+    }
+    return s;
+  }
+
+  std::optional<double> clock_period_ps_;
+};
+
+// ---------------------------------------------------------------------------
+// Canonical first-order SSTA: the correlation-aware engine (one shared
+// global variable). Unlike FULLSSTA/FASSTA it tracks the variation model's
+// global_fraction through the max.
+// ---------------------------------------------------------------------------
+
+class CanonicalAnalyzer final : public SerializedAnalyzer {
+ public:
+  explicit CanonicalAnalyzer(const AnalyzerOptions&) {}
+
+  std::string_view name() const override { return "canonical"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.per_node_moments = true;
+    c.what_if = true;
+    c.exact_speculation = true;
+    return c;
+  }
+
+ private:
+  Summary compute(sta::TimingContext& ctx) override {
+    const ssta::CanonicalResult r = ssta::run_canonical(ctx);
+    Summary s;
+    s.mean_ps = r.mean_ps;
+    s.sigma_ps = r.sigma_ps;
+    s.node.resize(r.node.size());
+    for (std::size_t i = 0; i < r.node.size(); ++i) {
+      s.node[i] = sta::NodeMoments{r.node[i].mean_ps(), r.node[i].sigma_ps()};
+    }
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Monte Carlo: the sampling reference. Deterministic for a fixed seed (and
+// for any MonteCarloOptions::threads value — counter-based sample streams),
+// so the serialized what-if is exact.
+// ---------------------------------------------------------------------------
+
+class McAnalyzer final : public SerializedAnalyzer {
+ public:
+  explicit McAnalyzer(const AnalyzerOptions& options) : mc_(options.monte_carlo) {}
+
+  std::string_view name() const override { return "mc"; }
+
+  Capabilities capabilities() const override {
+    Capabilities c;
+    c.per_node_moments = mc_.per_node_stats;
+    c.what_if = true;
+    c.exact_speculation = true;
+    return c;
+  }
+
+ private:
+  Summary compute(sta::TimingContext& ctx) override {
+    const ssta::MonteCarloResult r = ssta::run_monte_carlo(ctx, mc_);
+    Summary s;
+    s.mean_ps = r.mean_ps;
+    s.sigma_ps = r.sigma_ps;
+    s.node = r.node;  // empty unless per_node_stats
+    return s;
+  }
+
+  ssta::MonteCarloOptions mc_;
+};
+
+}  // namespace
+
+std::unique_ptr<Analyzer> make_fassta_analyzer(const AnalyzerOptions& options) {
+  return std::make_unique<FasstaAnalyzer>(options);
+}
+std::unique_ptr<Analyzer> make_canonical_analyzer(const AnalyzerOptions& options) {
+  return std::make_unique<CanonicalAnalyzer>(options);
+}
+std::unique_ptr<Analyzer> make_dsta_analyzer(const AnalyzerOptions& options) {
+  return std::make_unique<DstaAnalyzer>(options);
+}
+std::unique_ptr<Analyzer> make_mc_analyzer(const AnalyzerOptions& options) {
+  return std::make_unique<McAnalyzer>(options);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, AnalyzerFactory, std::less<>> factories;
+
+  Registry() {
+    factories.emplace("fullssta", detail::make_fullssta_analyzer);
+    factories.emplace("fassta", detail::make_fassta_analyzer);
+    factories.emplace("canonical", detail::make_canonical_analyzer);
+    factories.emplace("dsta", detail::make_dsta_analyzer);
+    factories.emplace("mc", detail::make_mc_analyzer);
+  }
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Analyzer> make_analyzer(std::string_view name, const AnalyzerOptions& options) {
+  Registry& reg = Registry::instance();
+  AnalyzerFactory factory;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.factories.find(name);
+    if (it == reg.factories.end()) {
+      std::string known;
+      for (const auto& [n, f] : reg.factories) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw std::invalid_argument("unknown analyzer \"" + std::string(name) +
+                                  "\" (known: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(options);
+}
+
+std::vector<std::string> analyzer_names() {
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [n, f] : reg.factories) names.push_back(n);
+  return names;  // std::map iterates sorted
+}
+
+bool register_analyzer(std::string name, AnalyzerFactory factory) {
+  Registry& reg = Registry::instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.factories.emplace(std::move(name), std::move(factory)).second;
+}
+
+}  // namespace statsizer::timing

@@ -1,0 +1,66 @@
+// Internal plumbing shared by the timing::Analyzer adapters. Not installed;
+// include only from src/timing/*.cpp.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "timing/analyzer.h"
+
+namespace statsizer::timing::detail {
+
+/// Bound-context / epoch / base-summary bookkeeping common to every adapter.
+/// The epoch counter implements speculation invalidation: propose() stamps
+/// the speculation with the current epoch, and commit()/analyze() bump it,
+/// so a stale speculation's score() can fail loudly instead of silently
+/// evaluating against a base that no longer exists.
+class BoundAnalyzer : public Analyzer {
+ public:
+  const Summary& current() const final {
+    if (!has_base_) {
+      throw std::logic_error(std::string(name()) + ": current() before analyze()");
+    }
+    return base_;
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  void guard_epoch(std::uint64_t speculation_epoch) const {
+    if (speculation_epoch != epoch_) {
+      throw std::logic_error(std::string(name()) +
+                             ": speculation invalidated by a commit or re-analyze");
+    }
+  }
+
+ protected:
+  sta::TimingContext& bound() const {
+    if (ctx_ == nullptr) {
+      throw std::logic_error(std::string(name()) + ": propose() before analyze()");
+    }
+    return *ctx_;
+  }
+
+  /// propose() preconditions: a bound context, at least one resize, distinct
+  /// mapped gates, size indices inside each gate's group.
+  void validate_resizes(std::span<const Resize> resizes) const;
+
+  /// Installs a new base summary and invalidates outstanding speculations.
+  void install_base(Summary base) {
+    base_ = std::move(base);
+    has_base_ = true;
+    ++epoch_;
+  }
+
+  sta::TimingContext* ctx_ = nullptr;
+  Summary base_;
+  bool has_base_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+std::unique_ptr<Analyzer> make_fullssta_analyzer(const AnalyzerOptions& options);
+std::unique_ptr<Analyzer> make_fassta_analyzer(const AnalyzerOptions& options);
+std::unique_ptr<Analyzer> make_canonical_analyzer(const AnalyzerOptions& options);
+std::unique_ptr<Analyzer> make_dsta_analyzer(const AnalyzerOptions& options);
+std::unique_ptr<Analyzer> make_mc_analyzer(const AnalyzerOptions& options);
+
+}  // namespace statsizer::timing::detail

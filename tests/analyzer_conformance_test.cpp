@@ -1,0 +1,450 @@
+// Registry-driven conformance suite for the timing::Analyzer engine API.
+// Every registered engine runs through the same contract checks:
+//   * analyze() produces a finite summary consistent with its capabilities;
+//   * propose()/score()/rollback() leaves the netlist, the TimingContext,
+//     and the analyzer base bitwise-identical to the pre-propose state;
+//   * a committed speculation's base equals a from-scratch analyze() of the
+//     resized netlist bitwise (deterministic engines);
+//   * commits invalidate sibling speculations (epoch guard).
+// Plus the FULLSSTA-specific guarantees the parallel rescue confirmations
+// rest on: what-if scores (single and multi-resize) bitwise-equal a
+// from-scratch update() + run_fullssta() on the cla_adder and parity-fabric
+// circuits from sizer_parallel_test, concurrent speculative scoring is
+// thread-count-invariant, and a committed overlay equals the from-scratch
+// run (arrival moments, output pdf, mean, sigma).
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.h"
+#include "core/flow.h"
+#include "liberty/synthetic.h"
+#include "opt/initial_sizing.h"
+#include "opt/sizer_statistical.h"
+#include "ssta/fullssta.h"
+#include "techmap/mapper.h"
+#include "timing/analyzer.h"
+#include "util/thread_pool.h"
+
+namespace statsizer::timing {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+struct Bench {
+  Netlist nl;
+  liberty::Library lib = liberty::build_synthetic_90nm();
+  variation::VariationModel var;
+  std::unique_ptr<sta::TimingContext> ctx;
+
+  explicit Bench(Netlist n) : nl(std::move(n)) {
+    auto s = techmap::map_to_library(nl, lib);
+    if (!s.ok()) throw std::logic_error(s.message());
+    ctx = std::make_unique<sta::TimingContext>(nl, lib, var, sta::TimingOptions{});
+    (void)opt::apply_initial_sizing(*ctx);
+  }
+};
+
+/// Wide balanced XOR fabric (mirrors sizer_parallel_test): reconvergence-free
+/// breadth, thousands of near-identical paths.
+Netlist parity_fabric(unsigned width) {
+  circuits::Builder b("parity" + std::to_string(width));
+  const auto xs = b.bus("x", width);
+  b.output("p", b.xor_tree(xs));
+  return b.take();
+}
+
+/// Every observable of the timing snapshot, bit-for-bit.
+struct Fingerprint {
+  std::vector<std::uint16_t> sizes;
+  std::vector<double> loads;
+  std::vector<double> slews;
+  std::vector<double> arc_delays;
+  std::vector<double> arc_sigmas;
+  double area = 0.0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+Fingerprint fingerprint(const sta::TimingContext& ctx) {
+  Fingerprint f;
+  const auto& nl = ctx.netlist();
+  f.sizes = nl.sizes();
+  f.area = ctx.area_um2();
+  for (GateId g = 0; g < nl.node_count(); ++g) {
+    f.loads.push_back(ctx.load_ff(g));
+    f.slews.push_back(ctx.slew_ps(g));
+    for (std::size_t i = 0; i < nl.gate(g).fanins.size(); ++i) {
+      f.arc_delays.push_back(ctx.arc_delay_ps(g, i));
+      f.arc_sigmas.push_back(ctx.arc_sigma_ps(g, i));
+    }
+  }
+  return f;
+}
+
+void expect_summaries_equal(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.mean_ps, b.mean_ps);
+  EXPECT_EQ(a.sigma_ps, b.sigma_ps);
+  ASSERT_EQ(a.node.size(), b.node.size());
+  for (std::size_t i = 0; i < a.node.size(); ++i) {
+    EXPECT_EQ(a.node[i].mean_ps, b.node[i].mean_ps) << "node " << i;
+    EXPECT_EQ(a.node[i].sigma_ps, b.node[i].sigma_ps) << "node " << i;
+  }
+  ASSERT_EQ(a.output_pdf.size(), b.output_pdf.size());
+  EXPECT_EQ(a.output_pdf.origin(), b.output_pdf.origin());
+  EXPECT_EQ(a.output_pdf.step(), b.output_pdf.step());
+  EXPECT_EQ(a.output_pdf.masses(), b.output_pdf.masses());
+}
+
+/// A mapped gate with more than one available size, plus a target size that
+/// differs from the current one.
+struct Candidate {
+  GateId gate = netlist::kNoGate;
+  std::uint16_t size = 0;
+};
+
+std::vector<Candidate> some_candidates(const sta::TimingContext& ctx, std::size_t limit) {
+  std::vector<Candidate> out;
+  const auto& nl = ctx.netlist();
+  for (GateId g = 0; g < nl.node_count() && out.size() < limit; ++g) {
+    if (!ctx.has_cell(g)) continue;
+    const auto& group = ctx.library().group(nl.gate(g).cell_group);
+    if (group.size_count() < 2) continue;
+    const std::uint16_t current = nl.gate(g).size_index;
+    out.push_back(Candidate{g, static_cast<std::uint16_t>((current + 1) % group.size_count())});
+  }
+  return out;
+}
+
+class AnalyzerConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AnalyzerConformance, AnalyzeProducesCapabilityConsistentSummary) {
+  Bench b(circuits::make_cla_adder(4));
+  AnalyzerOptions opt;
+  opt.monte_carlo.samples = 400;  // keep the sampling engine test-sized
+  auto an = make_analyzer(GetParam(), opt);
+  EXPECT_EQ(an->name(), GetParam());
+  EXPECT_THROW((void)an->current(), std::logic_error);
+  EXPECT_THROW((void)an->propose(0, 0), std::logic_error);  // before analyze()
+
+  const Summary& s = an->analyze(*b.ctx);
+  EXPECT_GT(s.mean_ps, 0.0);
+  EXPECT_GE(s.sigma_ps, 0.0);
+  const Capabilities caps = an->capabilities();
+  if (caps.per_node_moments) {
+    EXPECT_EQ(s.node.size(), b.nl.node_count());
+  }
+  if (caps.output_pdf) {
+    EXPECT_GT(s.output_pdf.size(), 1u);
+    EXPECT_EQ(s.mean_ps, s.output_pdf.mean());
+  }
+}
+
+TEST_P(AnalyzerConformance, RollbackRestoresBitwiseIdenticalState) {
+  Bench b(circuits::make_cla_adder(4));
+  AnalyzerOptions opt;
+  opt.monte_carlo.samples = 400;
+  auto an = make_analyzer(GetParam(), opt);
+  if (!an->capabilities().what_if) GTEST_SKIP() << "engine has no what-if";
+
+  (void)an->analyze(*b.ctx);
+  const Summary before_summary = an->current();
+  const Fingerprint before = fingerprint(*b.ctx);
+
+  const auto cands = some_candidates(*b.ctx, 3);
+  ASSERT_FALSE(cands.empty());
+  for (const Candidate& c : cands) {
+    auto spec = an->propose(c.gate, c.size);
+    const Summary& scored = spec->score();
+    EXPECT_GT(scored.mean_ps, 0.0);
+    spec->rollback();
+    EXPECT_EQ(fingerprint(*b.ctx), before) << "rollback leaked state";
+    expect_summaries_equal(an->current(), before_summary);
+  }
+  // Destroying an unresolved speculation is an implicit rollback.
+  { auto spec = an->propose(cands[0].gate, cands[0].size); }
+  EXPECT_EQ(fingerprint(*b.ctx), before);
+}
+
+TEST_P(AnalyzerConformance, CommittedSpeculationEqualsFromScratchAnalysis) {
+  AnalyzerOptions opt;
+  opt.monte_carlo.samples = 400;
+  auto an = make_analyzer(GetParam(), opt);
+  if (!an->capabilities().what_if) GTEST_SKIP() << "engine has no what-if";
+
+  Bench b(circuits::make_cla_adder(4));
+  (void)an->analyze(*b.ctx);
+  const auto cands = some_candidates(*b.ctx, 1);
+  ASSERT_FALSE(cands.empty());
+
+  auto spec = an->propose(cands[0].gate, cands[0].size);
+  const Summary scored = spec->score();
+  spec->commit();
+  EXPECT_EQ(b.nl.gate(cands[0].gate).size_index, cands[0].size);
+  const Summary committed = an->current();
+
+  // From scratch: an identical twin bench resized up front.
+  Bench twin(circuits::make_cla_adder(4));
+  twin.nl.gate(cands[0].gate).size_index = cands[0].size;
+  twin.ctx->update();
+  auto fresh = make_analyzer(GetParam(), opt);
+  const Summary& reference = fresh->analyze(*twin.ctx);
+
+  expect_summaries_equal(committed, reference);
+  EXPECT_EQ(fingerprint(*b.ctx), fingerprint(*twin.ctx));
+  if (an->capabilities().exact_speculation) {
+    EXPECT_EQ(scored.mean_ps, reference.mean_ps);
+    EXPECT_EQ(scored.sigma_ps, reference.sigma_ps);
+  }
+}
+
+TEST_P(AnalyzerConformance, CommitInvalidatesSiblingSpeculations) {
+  AnalyzerOptions opt;
+  opt.monte_carlo.samples = 400;
+  auto an = make_analyzer(GetParam(), opt);
+  if (!an->capabilities().what_if) GTEST_SKIP() << "engine has no what-if";
+
+  Bench b(circuits::make_cla_adder(4));
+  (void)an->analyze(*b.ctx);
+  const auto cands = some_candidates(*b.ctx, 2);
+  ASSERT_GE(cands.size(), 2u);
+
+  auto first = an->propose(cands[0].gate, cands[0].size);
+  auto second = an->propose(cands[1].gate, cands[1].size);
+  auto third = an->propose(cands[1].gate, cands[1].size);
+  const Summary second_scored = second->score();  // cached pre-invalidation
+  first->commit();
+  EXPECT_NO_THROW(first->commit());  // committing twice is a uniform no-op
+  EXPECT_EQ(second->score().mean_ps, second_scored.mean_ps);  // cache readable
+  EXPECT_THROW((void)third->score(), std::logic_error);       // stale base
+  EXPECT_THROW(third->commit(), std::logic_error);
+  third->rollback();  // rollback of an invalidated speculation is a no-op
+}
+
+TEST_P(AnalyzerConformance, ProposeValidatesArguments) {
+  AnalyzerOptions opt;
+  opt.monte_carlo.samples = 400;
+  auto an = make_analyzer(GetParam(), opt);
+  if (!an->capabilities().what_if) GTEST_SKIP() << "engine has no what-if";
+
+  Bench b(circuits::make_cla_adder(4));
+  (void)an->analyze(*b.ctx);
+  const auto cands = some_candidates(*b.ctx, 1);
+  ASSERT_FALSE(cands.empty());
+  const GateId g = cands[0].gate;
+  const auto& group = b.lib.group(b.nl.gate(g).cell_group);
+
+  EXPECT_THROW((void)an->propose(g, static_cast<std::uint16_t>(group.size_count())),
+               std::invalid_argument);
+  EXPECT_THROW((void)an->propose_resizes({}), std::invalid_argument);
+  const Resize dup[] = {{g, 0}, {g, 1}};
+  EXPECT_THROW((void)an->propose_resizes(dup), std::invalid_argument);
+  // Unmapped node (a primary input).
+  ASSERT_FALSE(b.nl.inputs().empty());
+  EXPECT_THROW((void)an->propose(b.nl.inputs()[0], 0), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AnalyzerConformance,
+                         ::testing::ValuesIn(analyzer_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(AnalyzerRegistry, KnowsTheBuiltins) {
+  const auto names = analyzer_names();
+  for (const char* expected : {"canonical", "dsta", "fassta", "fullssta", "mc"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+  }
+  EXPECT_THROW((void)make_analyzer("no-such-engine"), std::invalid_argument);
+}
+
+TEST(AnalyzerRegistry, AcceptsExtensionBackends) {
+  // Registering a new backend under a taken name fails; a fresh name works
+  // and resolves through make_analyzer.
+  EXPECT_FALSE(register_analyzer(
+      "fullssta", [](const AnalyzerOptions& o) { return make_analyzer("dsta", o); }));
+  static bool registered = register_analyzer(
+      "conformance-alias", [](const AnalyzerOptions& o) { return make_analyzer("dsta", o); });
+  EXPECT_TRUE(registered);
+  auto an = make_analyzer("conformance-alias");
+  EXPECT_EQ(an->name(), "dsta");
+}
+
+// ---------------------------------------------------------------------------
+// FULLSSTA what-if vs full re-run: the bitwise-equivalence the parallel
+// rescue confirmations rest on, exercised on the two circuits from
+// sizer_parallel_test (a reconvergent carry chain and a balanced fabric).
+// ---------------------------------------------------------------------------
+
+class FullSstaWhatIf : public ::testing::TestWithParam<int> {
+ protected:
+  static Netlist circuit() {
+    return GetParam() == 0 ? circuits::make_cla_adder(8) : parity_fabric(16);
+  }
+};
+
+TEST_P(FullSstaWhatIf, ScoreMatchesFromScratchRerunBitwise) {
+  Bench b(circuit());
+  auto an = make_analyzer("fullssta");
+  (void)an->analyze(*b.ctx);
+
+  for (const Candidate& c : some_candidates(*b.ctx, 24)) {
+    auto spec = an->propose(c.gate, c.size);
+    const Summary& scored = spec->score();
+
+    // From-scratch reference: mutate, rebuild the snapshot, run the engine,
+    // restore. (update() is a pure function of the sizes, so the restore
+    // leaves the bench bitwise-identical for the next candidate.)
+    const std::uint16_t keep = b.nl.gate(c.gate).size_index;
+    b.nl.gate(c.gate).size_index = c.size;
+    b.ctx->update();
+    const ssta::FullSstaResult reference = ssta::run_fullssta(*b.ctx);
+    b.nl.gate(c.gate).size_index = keep;
+    b.ctx->update();
+
+    EXPECT_EQ(scored.mean_ps, reference.mean_ps) << "gate " << c.gate;
+    EXPECT_EQ(scored.sigma_ps, reference.sigma_ps) << "gate " << c.gate;
+    spec->rollback();
+  }
+}
+
+TEST_P(FullSstaWhatIf, MultiResizeScoreMatchesFromScratchRerunBitwise) {
+  Bench b(circuit());
+  auto an = make_analyzer("fullssta");
+  (void)an->analyze(*b.ctx);
+
+  const auto cands = some_candidates(*b.ctx, 6);
+  ASSERT_GE(cands.size(), 2u);
+  std::vector<Resize> resizes;
+  for (const Candidate& c : cands) resizes.push_back(Resize{c.gate, c.size});
+
+  auto spec = an->propose_resizes(resizes);
+  const Summary& scored = spec->score();
+
+  const auto keep = b.nl.sizes();
+  for (const Resize& r : resizes) b.nl.gate(r.gate).size_index = r.size;
+  b.ctx->update();
+  const ssta::FullSstaResult reference = ssta::run_fullssta(*b.ctx);
+  b.nl.set_sizes(keep);
+  b.ctx->update();
+
+  EXPECT_EQ(scored.mean_ps, reference.mean_ps);
+  EXPECT_EQ(scored.sigma_ps, reference.sigma_ps);
+}
+
+TEST_P(FullSstaWhatIf, CommittedOverlayEqualsFromScratchRun) {
+  Bench b(circuit());
+  auto an = make_analyzer("fullssta");
+  (void)an->analyze(*b.ctx);
+
+  // Commit a chain of speculations (the rescue pattern: serial commits in
+  // gain order), then compare the merged base against a from-scratch run.
+  const auto cands = some_candidates(*b.ctx, 4);
+  for (const Candidate& c : cands) {
+    auto spec = an->propose(c.gate, c.size);
+    (void)spec->score();
+    spec->commit();
+  }
+  const Summary& merged = an->current();
+
+  ssta::FullSstaOptions opt;
+  opt.keep_node_pdfs = true;
+  const ssta::FullSstaResult reference = ssta::run_fullssta(*b.ctx, opt);
+  EXPECT_EQ(merged.mean_ps, reference.mean_ps);
+  EXPECT_EQ(merged.sigma_ps, reference.sigma_ps);
+  ASSERT_EQ(merged.node.size(), reference.node.size());
+  for (std::size_t i = 0; i < merged.node.size(); ++i) {
+    EXPECT_EQ(merged.node[i].mean_ps, reference.node[i].mean_ps) << "node " << i;
+    EXPECT_EQ(merged.node[i].sigma_ps, reference.node[i].sigma_ps) << "node " << i;
+  }
+  EXPECT_EQ(merged.output_pdf.masses(), reference.output_pdf.masses());
+  EXPECT_EQ(merged.output_pdf.origin(), reference.output_pdf.origin());
+  EXPECT_EQ(merged.output_pdf.step(), reference.output_pdf.step());
+}
+
+TEST_P(FullSstaWhatIf, ConcurrentScoringIsThreadCountInvariant) {
+  Bench b(circuit());
+  auto an = make_analyzer("fullssta");
+  (void)an->analyze(*b.ctx);
+  ASSERT_TRUE(an->capabilities().concurrent_speculations);
+
+  const auto cands = some_candidates(*b.ctx, 32);
+  const auto score_all = [&](std::size_t threads) {
+    std::vector<std::unique_ptr<Speculation>> specs(cands.size());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      specs[i] = an->propose(cands[i].gate, cands[i].size);
+    }
+    std::vector<double> means(cands.size());
+    std::vector<double> sigmas(cands.size());
+    util::parallel_for(cands.size(), 1, threads,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const Summary& s = specs[i]->score();
+                           means[i] = s.mean_ps;
+                           sigmas[i] = s.sigma_ps;
+                         }
+                       });
+    return std::pair(means, sigmas);
+  };
+
+  const auto reference = score_all(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto parallel = score_all(threads);
+    EXPECT_EQ(parallel.first, reference.first) << "threads=" << threads;
+    EXPECT_EQ(parallel.second, reference.second) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, FullSstaWhatIf, ::testing::Values(0, 1),
+                         [](const auto& info) {
+                           return info.param == 0 ? std::string("cla_adder")
+                                                  : std::string("parity_fabric");
+                         });
+
+// ---------------------------------------------------------------------------
+// Engine selection plumbing: the sizer and the flow resolve confirm/score
+// engines through the registry.
+// ---------------------------------------------------------------------------
+
+TEST(EngineSelection, SizerRunsWithAlternateEngines) {
+  // FASSTA confirming FASSTA plans: a coherent (if approximate) setup that
+  // exercises the non-default confirm path end to end.
+  Bench b(circuits::make_ripple_adder(4));
+  opt::StatisticalSizerOptions opt;
+  opt.objective.lambda = 3.0;
+  opt.confirm_engine = "fassta";
+  opt.score_engine = "dsta";  // serialized analyzer-path inner scoring
+  opt.max_iterations = 3;
+  const auto stats = opt::size_statistically(*b.ctx, opt);
+  EXPECT_GT(stats.initial.mean_ps, 0.0);
+  EXPECT_LE(stats.final_.mean_ps + 3.0 * stats.final_.sigma_ps,
+            stats.initial.mean_ps + 3.0 * stats.initial.sigma_ps);
+}
+
+TEST(EngineSelection, SizerRejectsIncapableOrUnknownEngines) {
+  Bench b(circuits::make_ripple_adder(4));
+  opt::StatisticalSizerOptions opt;
+  opt.max_iterations = 1;
+  opt.confirm_engine = "no-such-engine";
+  EXPECT_THROW((void)opt::size_statistically(*b.ctx, opt), std::invalid_argument);
+  opt.confirm_engine = "mc";  // no per-node moments unless per_node_stats
+  EXPECT_THROW((void)opt::size_statistically(*b.ctx, opt), std::invalid_argument);
+  opt.confirm_engine = "fullssta";
+  opt.score_engine = "dsta";
+  opt.scoring = opt::InnerScoring::kSubcircuit;  // needs the fassta kernel
+  EXPECT_THROW((void)opt::size_statistically(*b.ctx, opt), std::invalid_argument);
+}
+
+TEST(EngineSelection, FlowMakeAnalyzerUsesFlowOptions) {
+  core::FlowOptions options;
+  options.fullssta.samples_per_pdf = 9;
+  core::Flow flow(options);
+  ASSERT_TRUE(flow.load_table1("alu1").ok());
+  auto an = flow.make_analyzer();  // default fullssta
+  const Summary& s = an->analyze(flow.timing());
+  EXPECT_EQ(s.output_pdf.size(), 9u);  // the flow's pdf resolution carried over
+  EXPECT_THROW((void)flow.make_analyzer("no-such-engine"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace statsizer::timing
