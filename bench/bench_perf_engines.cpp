@@ -215,6 +215,57 @@ void BM_WhatIfConfirm(benchmark::State& state, const std::string& name) {
   state.SetLabel(std::to_string(wave.size()) + " speculations/wave");
 }
 
+/// Parallel area recovery — the constrained-mode cleanup on the analyzer
+/// what-if API: screening waves of per-gate downsize speculations fan across
+/// state.range(0) workers (each holds a private fanout-cone overlay),
+/// commits apply serially in descending-area order, and every kChunk
+/// accepted downsizes are re-verified by one atomic multi-resize FULLSSTA
+/// speculation. A one-shot check re-asserts that every thread count
+/// reproduces the 1-thread run bitwise (sizes, stats, final summary).
+void BM_AreaRecoveryThreads(benchmark::State& state, const std::string& name) {
+  auto& flow = flow_for(name);
+  const auto baseline_sizes = flow.netlist().sizes();
+
+  opt::AreaRecoveryOptions opt;
+  opt.criterion = opt::RecoveryCriterion::kStatisticalCost;
+  opt.objective.lambda = 3.0;
+  opt.tolerance = 0.01;  // enough budget for a bench-sized downsize stream
+  opt.sigma_tolerance = 0.05;
+  opt.fullssta = flow.options().fullssta;
+  const auto run_with = [&](std::size_t threads) {
+    flow.timing().mutable_netlist().set_sizes(baseline_sizes);
+    flow.timing().update();
+    auto o = opt;
+    o.threads = threads;
+    return opt::recover_area(flow.timing(), o);
+  };
+
+  const auto reference = run_with(1);
+  const auto ref_sizes = flow.netlist().sizes();
+  const auto parallel = run_with(static_cast<std::size_t>(state.range(0)));
+  if (parallel.downsizes != reference.downsizes ||
+      parallel.screen_trials != reference.screen_trials ||
+      parallel.area_after_um2 != reference.area_after_um2 ||
+      parallel.final_summary.mean_ps != reference.final_summary.mean_ps ||
+      parallel.final_summary.sigma_ps != reference.final_summary.sigma_ps ||
+      flow.netlist().sizes() != ref_sizes) {
+    state.SkipWithError("parallel area recovery diverged from the serial reference");
+    flow.timing().mutable_netlist().set_sizes(baseline_sizes);
+    flow.timing().update();
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_with(static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetLabel(std::to_string(reference.downsizes) + " downsizes, " +
+                 std::to_string(reference.screen_trials) + " screen trials/run");
+
+  // Leave the shared fixture at its baseline point for later benchmarks.
+  flow.timing().mutable_netlist().set_sizes(baseline_sizes);
+  flow.timing().update();
+}
+
 void BM_TimingUpdate(benchmark::State& state, const std::string& name) {
   auto& flow = flow_for(name);
   for (auto _ : state) {
@@ -246,6 +297,13 @@ BENCHMARK_CAPTURE(BM_SizerThreads, c880, std::string("c880"))
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_WhatIfConfirm, c880, std::string("c880"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AreaRecoveryThreads, c880, std::string("c880"))
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

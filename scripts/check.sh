@@ -47,6 +47,10 @@ if [[ "${ASAN}" == 1 ]]; then
   # confirmations — exactly where memory bugs would surface — at ~10 s
   # sanitized. AnalyzerConformance/FullSstaWhatIf stay in too: the overlay
   # engine's private-state discipline is what the sanitizer should see.
+  # AreaRecovery{Parallel,Equivalence,Rollback,Options} stay in as well: the
+  # screening waves' per-speculation overlays, the incremental snapshot
+  # patching (TimingContext::apply_snapshot_patch), and the chunk-rollback
+  # restore path are all concurrent-lifetime code the sanitizer should walk.
   CTEST_EXTRA=(-E 'FlowRegression|Table1|StatisticalSizer')
   run_suite build-asan -DSTATSIZER_SANITIZE=ON -DSTATSIZER_BUILD_BENCHES=OFF \
     -DSTATSIZER_BUILD_EXAMPLES=OFF

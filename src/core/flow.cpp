@@ -67,10 +67,15 @@ opt::DeterministicSizerStats Flow::run_baseline() {
   // optimized first then area is recovered as far as possible without
   // violating a delay constraint"). This is what leaves off-critical gates
   // small — and why the mean-optimized circuit has the widest spread.
+  // screen_engine stays on the criterion-based default (dsta for the
+  // deterministic arrival guard, fassta for the statistical one).
   opt::AreaRecoveryOptions recovery;
   recovery.criterion = options_.recovery_criterion;
   recovery.tolerance = options_.recovery_tolerance;
   recovery.objective.lambda = 0.0;
+  recovery.threads = options_.sizer_threads;
+  recovery.confirm_engine = options_.confirm_engine;
+  recovery.fullssta = options_.fullssta;
   (void)opt::recover_area(*context_, recovery);
 
   // Short re-polish so the baseline sits at (not merely near) its E[max]
@@ -90,27 +95,39 @@ OptimizationRecord Flow::optimize(double lambda,
   opt::StatisticalSizerOptions sizer = overrides != nullptr ? *overrides
                                                             : opt::StatisticalSizerOptions{};
   if (overrides == nullptr) {
+    // Flow defaults apply only when the caller passed no overrides — an
+    // explicit overrides struct carries its own engine configuration
+    // (including fullssta options) untouched.
     sizer.threads = options_.sizer_threads;
     sizer.confirm_engine = options_.confirm_engine;
     sizer.score_engine = options_.score_engine;
+    sizer.fullssta = options_.fullssta;
   }
   sizer.objective.lambda = lambda;
-  sizer.fullssta = options_.fullssta;
 
   const auto t0 = std::chrono::steady_clock::now();
   opt::StatisticalSizerStats stats = opt::size_statistically(*context_, sizer);
 
   // Constrained-mode cleanup: the optimizer's coordinated moves (population
   // bumps) oversize gates whose contribution to the achieved objective is
-  // marginal; recover that area without giving the objective back.
+  // marginal; recover that area without giving the objective back. Recovery
+  // guards and measures with the sizer's engines and FullSstaOptions, so its
+  // exact budgets agree with the record reported below.
   opt::AreaRecoveryOptions recovery;
   recovery.criterion = opt::RecoveryCriterion::kStatisticalCost;
   recovery.objective = sizer.objective;
   recovery.tolerance = 0.002;
-  (void)opt::recover_area(*context_, recovery);
-  ssta::FullSstaResult final_full = ssta::run_fullssta(*context_, options_.fullssta);
-  stats.final_.mean_ps = final_full.mean_ps;
-  stats.final_.sigma_ps = final_full.sigma_ps;
+  recovery.threads = sizer.threads;
+  recovery.screen_engine = sizer.score_engine;
+  recovery.confirm_engine = sizer.confirm_engine;
+  recovery.fullssta = sizer.fullssta;
+  recovery.fassta = sizer.fassta;
+  opt::AreaRecoveryStats recovered = opt::recover_area(*context_, recovery);
+  // Statistical-criterion recovery always returns its confirm engine's exact
+  // summary of the committed final state (bitwise what a fresh run_fullssta
+  // would report), so the old post-recovery refresh is gone.
+  stats.final_.mean_ps = recovered.final_summary.mean_ps;
+  stats.final_.sigma_ps = recovered.final_summary.sigma_ps;
   stats.final_.area_um2 = context_->area_um2();
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -130,8 +147,8 @@ OptimizationRecord Flow::optimize(double lambda,
   rec.iterations = stats.iterations;
   rec.resizes = stats.resizes;
   rec.runtime_seconds = std::chrono::duration<double>(t1 - t0).count();
-  // The final analysis above already holds the pdf of this exact state.
-  rec.output_pdf = std::move(final_full.output_pdf);
+  // The recovery's final analysis already holds the pdf of this exact state.
+  rec.output_pdf = std::move(recovered.final_summary.output_pdf);
   return rec;
 }
 

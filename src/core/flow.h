@@ -51,17 +51,20 @@ struct FlowOptions {
   opt::RecoveryCriterion recovery_criterion = opt::RecoveryCriterion::kDeterministicArrival;
   double recovery_tolerance = 0.003;
   std::size_t post_recovery_polish_iterations = 20;
-  /// Worker threads for StatisticalGreedy's candidate scoring, applied to
-  /// run_baseline's polish stages and to optimize() when no overrides are
-  /// passed (explicit overrides carry their own threads field). 1 = serial,
-  /// 0 = hardware concurrency; results are identical for any value.
+  /// Worker threads for StatisticalGreedy's candidate scoring and area
+  /// recovery's screening waves, applied to run_baseline's stages and to
+  /// optimize() when no overrides are passed (explicit overrides carry their
+  /// own threads field, which optimize() also forwards to its recovery
+  /// stage). 1 = serial, 0 = hardware concurrency; results are identical for
+  /// any value.
   std::size_t sizer_threads = 1;
-  /// Engine selection for the statistical sizer (timing::make_analyzer
-  /// registry names), applied — like sizer_threads — to run_baseline's
-  /// polish stages and to optimize() without overrides. confirm_engine is
-  /// the accurate acceptance engine (needs what-if + per-node moments);
+  /// Engine selection for the statistical sizer and area recovery
+  /// (timing::make_analyzer registry names), applied — like sizer_threads —
+  /// to run_baseline's stages and to optimize() without overrides.
+  /// confirm_engine is the accurate acceptance/verification engine (the
+  /// sizer needs what-if + per-node moments; recovery needs what-if);
   /// score_engine is the fast inner-loop scorer ("fassta" = the specialized
-  /// kernel).
+  /// kernel) and doubles as optimize()'s recovery screen.
   std::string confirm_engine = "fullssta";
   std::string score_engine = "fassta";
 };
@@ -78,7 +81,9 @@ struct OptimizationRecord {
   std::size_t iterations = 0;
   std::size_t resizes = 0;
   double runtime_seconds = 0.0;
-  /// Output-delay pdf after optimization (Fig. 1 material).
+  /// Output-delay pdf after optimization (Fig. 1 material). Empty when the
+  /// configured confirm engine cannot produce a pdf (non-default engines
+  /// without the output_pdf capability).
   pdf::DiscretePdf output_pdf;
 };
 

@@ -11,12 +11,42 @@
 //  * kStatisticalCost — keep the FASSTA E[max]-based objective within a
 //    tolerance; appropriate after *statistical* optimization, where slack on
 //    side paths is itself a statistical asset.
+//
+// Engine plumbing: every trial runs through the timing::Analyzer what-if API.
+// The screen engine (screen_engine; defaults to "dsta" / "fassta" by
+// criterion) scores each candidate downsize as a Speculation against its
+// committed base — a fanout-cone re-propagation against a private overlay,
+// never a netlist mutation plus full TimingContext::update(); accepted
+// trials commit incrementally (the FASSTA/DSTA adapters patch the snapshot
+// in place). In statistical mode the screen drifts from the accurate engine
+// on reconvergent fabrics, so every kChunk accepted downsizes are
+// re-verified by the confirm engine (confirm_engine, default "fullssta",
+// configured with `fullssta` — the same options the caller uses to measure
+// the result, so the guard and the report agree) as one atomic multi-resize
+// speculation from the last checkpoint; a failed verification rolls the
+// whole chunk back and stops.
+//
+// Concurrency (docs/ARCHITECTURE.md, "Concurrency & determinism contracts"):
+// when the screen engine supports concurrent speculations, a wave of
+// per-gate downsize candidates is scored across util::ThreadPool workers
+// (each speculation holds a private overlay) and the descending-area order
+// is then walked serially — the first acceptance commits and the tail
+// re-speculates against the new base, so every trial is judged against the
+// state holding exactly the commits ordered before it, which is the serial
+// loop's semantics. Accepted downsizes, final sizes, and AreaRecoveryStats
+// are bitwise-identical for any `threads` value, and identical to the
+// pre-port serial mutate-and-rerun loop (pinned by
+// tests/area_recovery_parallel_test.cpp against detail::
+// recover_area_reference).
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "fassta/engine.h"
 #include "opt/objective.h"
+#include "ssta/fullssta.h"
+#include "timing/analyzer.h"
 
 namespace statsizer::opt {
 
@@ -38,16 +68,62 @@ struct AreaRecoveryOptions {
   double sigma_tolerance = 0.01;
   std::size_t max_passes = 4;
   fassta::EngineOptions fassta;
+  /// Options for the exact confirm engine — the *same* FullSstaOptions the
+  /// caller measures the final result with, so the kChunk budgets and the
+  /// reported objective use one statistical model (core::Flow plumbs its
+  /// options_.fullssta here).
+  ssta::FullSstaOptions fullssta;
+  /// Worker threads for the speculative screening waves. 1 = serial on the
+  /// calling thread; 0 = hardware concurrency. Results are bitwise-identical
+  /// for any value.
+  std::size_t threads = 1;
+  /// Screen engine (timing::make_analyzer registry name). Empty = pick by
+  /// criterion: "dsta" for kDeterministicArrival, "fassta" for
+  /// kStatisticalCost — the pre-port behaviour. Must support what-if
+  /// speculation; engines without concurrent_speculations screen serially.
+  std::string screen_engine;
+  /// Exact verification engine for kStatisticalCost (must support what-if).
+  std::string confirm_engine = "fullssta";
 };
 
 struct AreaRecoveryStats {
+  /// Downsize steps committed to the returned netlist (chunk rollbacks are
+  /// already subtracted): always equals the per-gate entry-to-exit size-index
+  /// drop summed over the netlist.
   std::size_t downsizes = 0;
+  /// Screen-engine what-if trials scored (accepted + rejected).
+  std::size_t screen_trials = 0;
+  /// Exact chunk verifications run (kStatisticalCost only).
+  std::size_t exact_verifications = 0;
+  /// Chunks whose exact verification failed and were rolled back wholesale.
+  std::size_t chunk_rollbacks = 0;
   double area_before_um2 = 0.0;
   double area_after_um2 = 0.0;
+  /// kStatisticalCost only (has_final_summary): the confirm engine's summary
+  /// of the final committed netlist — for the default "fullssta" engine,
+  /// bitwise what ssta::run_fullssta(ctx, options.fullssta) would report, so
+  /// callers need no post-recovery re-analysis.
+  bool has_final_summary = false;
+  timing::Summary final_summary;
 };
 
 /// Recovers area in place; the netlist keeps its function and mapping.
+/// Mutates size indices and the timing snapshot; not safe to call
+/// concurrently on the same context. Internal screening fans out across
+/// options.threads workers with thread-count-invariant results (see the
+/// header comment).
 AreaRecoveryStats recover_area(sta::TimingContext& ctx,
                                const AreaRecoveryOptions& options = {});
+
+namespace detail {
+
+/// The pre-port serial reference: per trial, mutate + full
+/// TimingContext::update() + engine re-run. Kept (test-only) so
+/// area_recovery_parallel_test can pin recover_area's analyzer port against
+/// the original loop's decisions bitwise.
+AreaRecoveryStats recover_area_reference(sta::TimingContext& ctx,
+                                         const AreaRecoveryOptions& options = {});
+
+}  // namespace detail
 
 }  // namespace statsizer::opt

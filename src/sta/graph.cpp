@@ -105,4 +105,29 @@ double TimingContext::sigma_for(const liberty::Cell& cell, double delay_ps) cons
   return var_.sigma_ps(delay_ps, cell.drive);
 }
 
+void TimingContext::apply_snapshot_patch(std::span<const std::uint8_t> dirty,
+                                         std::span<const std::uint8_t> load_dirty,
+                                         std::span<const double> load,
+                                         std::span<const double> slew,
+                                         std::span<const double> arc_delay,
+                                         std::span<const double> arc_sigma) {
+  const std::size_t n = nl_.node_count();
+  for (GateId id = 0; id < n; ++id) {
+    if (load_dirty[id]) load_[id] = load[id];
+    if (!dirty[id]) continue;
+    slew_[id] = slew[id];
+    for (std::uint32_t a = arc_offset_[id]; a < arc_offset_[id + 1]; ++a) {
+      arc_delay_[a] = arc_delay[a];
+      arc_sigma_[a] = arc_sigma[a];
+    }
+  }
+  // Area re-sum in update()'s exact visit order.
+  area_um2_ = 0.0;
+  for (GateId id = 0; id < n; ++id) {
+    const auto& g = nl_.gate(id);
+    if (g.cell_group == netlist::kUnmapped) continue;
+    area_um2_ += lib_.cell_for(g.cell_group, g.size_index).area_um2;
+  }
+}
+
 }  // namespace statsizer::sta

@@ -12,6 +12,8 @@
 // is built on (paper section 4.5).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "liberty/model.h"
@@ -76,6 +78,12 @@ class TimingContext {
   }
   /// Worst arc delay of the gate (its "gate delay").
   [[nodiscard]] double gate_delay_ps(netlist::GateId g) const;
+  /// First slot of gate @p g in the dense arc arrays (arc (g, i) lives at
+  /// arc_offset(g) + i). Exposed so incremental what-if overlays can mirror
+  /// the snapshot's arc indexing (timing/cone.h).
+  [[nodiscard]] std::uint32_t arc_offset(netlist::GateId g) const { return arc_offset_[g]; }
+  /// Total number of arcs (the size of the dense arc arrays).
+  [[nodiscard]] std::size_t arc_count() const { return arc_offset_[nl_.node_count()]; }
 
   // -- aggregates --------------------------------------------------------------
   [[nodiscard]] double area_um2() const { return area_um2_; }
@@ -90,6 +98,22 @@ class TimingContext {
                                       const liberty::Cell& cell, double load_ff) const;
   /// Sigma for a delay through @p cell (variation model shortcut).
   [[nodiscard]] double sigma_for(const liberty::Cell& cell, double delay_ps) const;
+
+  // -- incremental snapshot commit ---------------------------------------------
+  /// Commits an exact what-if overlay (timing/cone.h) in place of a full
+  /// update(): for every node with @p load_dirty set, writes @p load; for
+  /// every node with @p dirty set, writes @p slew and the node's slots of
+  /// @p arc_delay / @p arc_sigma (dense arrays in this context's arc
+  /// indexing); then re-sums the cell area exactly as update() does
+  /// (floating-point addition is not associative, so an area *delta* would
+  /// drift by ULPs). The caller guarantees the patched values are what a full
+  /// update() would compute for the netlist's current sizing state — after
+  /// the call the snapshot is bitwise-identical to having called update().
+  void apply_snapshot_patch(std::span<const std::uint8_t> dirty,
+                            std::span<const std::uint8_t> load_dirty,
+                            std::span<const double> load, std::span<const double> slew,
+                            std::span<const double> arc_delay,
+                            std::span<const double> arc_sigma);
 
  private:
   netlist::Netlist& nl_;

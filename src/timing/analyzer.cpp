@@ -3,6 +3,7 @@
 #include "timing/analyzer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -11,6 +12,7 @@
 #include "ssta/canonical.h"
 #include "sta/dsta.h"
 #include "timing/analyzer_impl.h"
+#include "timing/cone.h"
 
 namespace statsizer::timing {
 
@@ -62,6 +64,8 @@ void BoundAnalyzer::validate_resizes(std::span<const Resize> resizes) const {
 }
 
 namespace {
+
+using netlist::GateId;
 
 /// The generic transactional fallback: score() applies the resizes, re-runs
 /// the engine from scratch, and reverts — exact by construction, but it
@@ -167,13 +171,76 @@ class SerializedAnalyzer : public BoundAnalyzer {
 };
 
 // ---------------------------------------------------------------------------
-// FASSTA: moment-only fast engine. Single-resize speculations score through
-// the engine's const, re-entrant what-if (private Scratch per speculation),
-// so they may fan out in parallel; multi-resize batches fall back to the
-// serialized path. Scores reuse snapshot slews (the engine's documented
-// approximation), hence exact_speculation = false; commits refresh the base
-// with a from-scratch run.
+// FASSTA and DSTA: exact incremental what-ifs over the shared ConeSnapshot.
+//
+// Both engines propagate a scalar "arrival" per node (moment pairs for
+// FASSTA, latest arrival for DSTA) from the snapshot's arc delays, so an
+// exact speculation needs the same two halves:
+//   1. the snapshot half — loads (re-folded in update()'s accumulation
+//      order), slews, arc delays and sigmas over the resize's fanout cone
+//      (detail::ConeSnapshot, mirroring TimingContext::update() bitwise);
+//   2. the engine half — arrival propagation over the dirty set in
+//      topological order, reading everything outside the cone from the
+//      analyzer's cached base (Summary::node).
+// score() touches only the speculation's private overlay, so speculations
+// fan out in parallel; commit() installs the overlay incrementally — sizes
+// into the netlist, the snapshot half through
+// TimingContext::apply_snapshot_patch() (bitwise-equal to a full update()),
+// the arrival half into the base summary — with no O(E) re-run. This is
+// what lets opt::recover_area screen thousands of downsize trials without a
+// single full TimingContext::update().
 // ---------------------------------------------------------------------------
+
+/// Shared plumbing of the two cone speculations: epoch/caching discipline,
+/// the snapshot half, and the incremental commit. Subclasses implement the
+/// engine half (propagate_arrivals) and the base merge (merge_arrivals).
+template <typename Owner>
+class ConeSpeculation : public Speculation {
+ public:
+  ConeSpeculation(Owner& owner, sta::TimingContext& ctx, std::span<const Resize> resizes)
+      : owner_(owner), ctx_(ctx), epoch_(owner.epoch()) {
+    resizes_.assign(resizes.begin(), resizes.end());
+  }
+
+  const Summary& score() final {
+    if (scored_) return result_;  // cached scores stay readable after invalidation
+    owner_.guard_epoch(epoch_);
+    cone_.propagate(ctx_, owner_.load_terms_, resizes_);
+    propagate_arrivals();
+    scored_ = true;
+    return result_;
+  }
+
+  void commit() final {
+    if (committed_) return;  // uniform contract: a second commit is a no-op
+    owner_.guard_epoch(epoch_);
+    if (!scored_) (void)score();  // must run against the pre-resize snapshot
+    auto& nl = ctx_.mutable_netlist();
+    for (const Resize& r : resizes_) nl.gate(r.gate).size_index = r.size;
+    ctx_.apply_snapshot_patch(cone_.dirty, cone_.load_dirty, cone_.load, cone_.slew,
+                              cone_.arc_delay, cone_.arc_sigma);
+    merge_arrivals();          // dirty nodes of the base summary
+    owner_.merge_committed(result_);  // summary scalars; bumps the epoch
+    committed_ = true;
+  }
+
+  void rollback() final {}  // the overlay never touched shared state
+
+ protected:
+  /// Engine half of score(): propagate arrivals over cone_.dirty and fill
+  /// result_.mean_ps / result_.sigma_ps.
+  virtual void propagate_arrivals() = 0;
+  /// Commit half: write the overlay arrivals into the owner's base summary.
+  virtual void merge_arrivals() = 0;
+
+  Owner& owner_;
+  sta::TimingContext& ctx_;
+  std::uint64_t epoch_ = 0;
+  detail::ConeSnapshot cone_;
+  Summary result_;
+  bool scored_ = false;
+  bool committed_ = false;
+};
 
 class FasstaAnalyzer final : public SerializedAnalyzer {
  public:
@@ -186,57 +253,65 @@ class FasstaAnalyzer final : public SerializedAnalyzer {
     c.per_node_moments = true;
     c.what_if = true;
     c.concurrent_speculations = true;
+    c.exact_speculation = true;
     return c;
   }
 
-  std::unique_ptr<Speculation> propose(netlist::GateId gate, std::uint16_t size) override {
-    const Resize r{gate, size};
-    std::span<const Resize> span(&r, 1);
-    validate_resizes(span);
-    return std::make_unique<WhatIfSpeculation>(*this, bound(), span);
+  // Single-resize propose() is inherited: it delegates to this override.
+  std::unique_ptr<Speculation> propose_resizes(std::span<const Resize> resizes) override {
+    validate_resizes(resizes);
+    return std::make_unique<WhatIfSpeculation>(*this, bound(), resizes);
   }
 
  private:
-  class WhatIfSpeculation final : public Speculation {
+  class WhatIfSpeculation final : public ConeSpeculation<FasstaAnalyzer> {
    public:
-    WhatIfSpeculation(FasstaAnalyzer& owner, sta::TimingContext& ctx,
-                      std::span<const Resize> resizes)
-        : owner_(owner), ctx_(ctx), epoch_(owner.epoch()) {
-      resizes_.assign(resizes.begin(), resizes.end());
-    }
-
-    const Summary& score() override {
-      if (scored_) return result_;  // cached scores stay readable after invalidation
-      owner_.guard_epoch(epoch_);
-      const auto& g = ctx_.netlist().gate(resizes_[0].gate);
-      const liberty::Cell& cell = ctx_.library().cell_for(g.cell_group, resizes_[0].size);
-      const sta::NodeMoments m =
-          owner_.engine_->run_with_candidate(resizes_[0].gate, cell, scratch_);
-      result_.mean_ps = m.mean_ps;
-      result_.sigma_ps = m.sigma_ps;
-      scored_ = true;
-      return result_;
-    }
-
-    void commit() override {
-      if (committed_) return;  // uniform contract: a second commit is a no-op
-      owner_.guard_epoch(epoch_);
-      ctx_.mutable_netlist().gate(resizes_[0].gate).size_index = resizes_[0].size;
-      ctx_.update();
-      owner_.install_base(owner_.compute(ctx_));
-      committed_ = true;
-    }
-
-    void rollback() override {}
+    using ConeSpeculation::ConeSpeculation;
 
    private:
-    FasstaAnalyzer& owner_;
-    sta::TimingContext& ctx_;
-    std::uint64_t epoch_ = 0;
-    fassta::Engine::Scratch scratch_;
-    Summary result_;
-    bool scored_ = false;
-    bool committed_ = false;
+    /// Mirrors fassta::Engine::run() over the dirty set: moment propagation
+    /// from the cone's arc delays/sigmas, base moments outside the cone.
+    void propagate_arrivals() override {
+      const auto& nl = ctx_.netlist();
+      ov_moments_.assign(nl.node_count(), sta::NodeMoments{});
+      const fassta::Engine& engine = *owner_.engine_;
+      const std::span<const sta::NodeMoments> base = owner_.current().node;
+      const auto arrival_of = [&](GateId id) -> const sta::NodeMoments& {
+        return cone_.dirty[id] ? ov_moments_[id] : base[id];
+      };
+      for (const GateId id : ctx_.topo_order()) {
+        if (!cone_.dirty[id]) continue;
+        const auto& g = nl.gate(id);
+        if (g.fanins.empty()) continue;  // PI/constant: arrival (0, 0)
+        const std::uint32_t off = ctx_.arc_offset(id);
+        sta::NodeMoments acc;
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          const sta::NodeMoments& in = arrival_of(g.fanins[i]);
+          const double d = cone_.arc_delay[off + i];
+          const double s = cone_.arc_sigma[off + i];
+          const sta::NodeMoments through{in.mean_ps + d,
+                                         std::sqrt(in.sigma_ps * in.sigma_ps + s * s)};
+          acc = (i == 0) ? through : engine.stat_max(acc, through);
+        }
+        ov_moments_[id] = acc;
+      }
+      sta::NodeMoments out{0.0, 0.0};
+      bool first = true;
+      for (const auto& po : nl.outputs()) {
+        out = first ? arrival_of(po.driver) : engine.stat_max(out, arrival_of(po.driver));
+        first = false;
+      }
+      result_.mean_ps = out.mean_ps;
+      result_.sigma_ps = out.sigma_ps;
+    }
+
+    void merge_arrivals() override {
+      for (GateId id = 0; id < ov_moments_.size(); ++id) {
+        if (cone_.dirty[id]) owner_.base_.node[id] = ov_moments_[id];
+      }
+    }
+
+    std::vector<sta::NodeMoments> ov_moments_;
   };
 
   Summary compute(sta::TimingContext& ctx) override {
@@ -249,10 +324,25 @@ class FasstaAnalyzer final : public SerializedAnalyzer {
     return s;
   }
 
-  void on_bind(sta::TimingContext& ctx) override { engine_.emplace(ctx, options_); }
+  void on_bind(sta::TimingContext& ctx) override {
+    engine_.emplace(ctx, options_);
+    load_terms_.rebuild(ctx);
+  }
+
+  /// Installs a committed speculation's summary scalars (merge_arrivals
+  /// already patched the node moments) and invalidates siblings.
+  void merge_committed(const Summary& scored) {
+    base_.mean_ps = scored.mean_ps;
+    base_.sigma_ps = scored.sigma_ps;
+    ++epoch_;
+  }
 
   fassta::EngineOptions options_;
   std::optional<fassta::Engine> engine_;
+  LoadTerms load_terms_;
+
+  template <typename Owner>
+  friend class ConeSpeculation;
 };
 
 // ---------------------------------------------------------------------------
@@ -270,11 +360,60 @@ class DstaAnalyzer final : public SerializedAnalyzer {
     Capabilities c;
     c.per_node_moments = true;
     c.what_if = true;
+    c.concurrent_speculations = true;
     c.exact_speculation = true;
     return c;
   }
 
+  // Single-resize propose() is inherited: it delegates to this override.
+  std::unique_ptr<Speculation> propose_resizes(std::span<const Resize> resizes) override {
+    validate_resizes(resizes);
+    return std::make_unique<WhatIfSpeculation>(*this, bound(), resizes);
+  }
+
  private:
+  class WhatIfSpeculation final : public ConeSpeculation<DstaAnalyzer> {
+   public:
+    using ConeSpeculation::ConeSpeculation;
+
+   private:
+    /// Mirrors run_dsta()'s forward pass over the dirty set: latest arrival
+    /// from the cone's arc delays, base arrivals outside the cone.
+    void propagate_arrivals() override {
+      const auto& nl = ctx_.netlist();
+      ov_arrival_.assign(nl.node_count(), 0.0);
+      const std::span<const sta::NodeMoments> base = owner_.current().node;
+      const auto arrival_of = [&](GateId id) {
+        return cone_.dirty[id] ? ov_arrival_[id] : base[id].mean_ps;
+      };
+      for (const GateId id : ctx_.topo_order()) {
+        if (!cone_.dirty[id]) continue;
+        const auto& g = nl.gate(id);
+        const std::uint32_t off = ctx_.arc_offset(id);
+        double arr = 0.0;
+        for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+          arr = std::max(arr, arrival_of(g.fanins[i]) + cone_.arc_delay[off + i]);
+        }
+        ov_arrival_[id] = arr;
+      }
+      // run_dsta's max fold over primary outputs (>= keeps the last winner).
+      double max_arrival = 0.0;
+      for (const auto& po : nl.outputs()) {
+        if (arrival_of(po.driver) >= max_arrival) max_arrival = arrival_of(po.driver);
+      }
+      result_.mean_ps = max_arrival;
+      result_.sigma_ps = 0.0;
+    }
+
+    void merge_arrivals() override {
+      for (GateId id = 0; id < ov_arrival_.size(); ++id) {
+        if (cone_.dirty[id]) owner_.base_.node[id] = sta::NodeMoments{ov_arrival_[id], 0.0};
+      }
+    }
+
+    std::vector<double> ov_arrival_;
+  };
+
   Summary compute(sta::TimingContext& ctx) override {
     const sta::DstaResult r = sta::run_dsta(ctx, clock_period_ps_);
     Summary s;
@@ -287,7 +426,19 @@ class DstaAnalyzer final : public SerializedAnalyzer {
     return s;
   }
 
+  void on_bind(sta::TimingContext& ctx) override { load_terms_.rebuild(ctx); }
+
+  void merge_committed(const Summary& scored) {
+    base_.mean_ps = scored.mean_ps;
+    base_.sigma_ps = 0.0;
+    ++epoch_;
+  }
+
   std::optional<double> clock_period_ps_;
+  LoadTerms load_terms_;
+
+  template <typename Owner>
+  friend class ConeSpeculation;
 };
 
 // ---------------------------------------------------------------------------

@@ -33,17 +33,22 @@
 // carries a private overlay and only reads the shared base. commit(),
 // rollback(), and analyze() are serial operations (no speculation may be
 // scoring while they run). Engines whose score() has to mutate the shared
-// context (the generic mutate/re-run/revert fallback used by "canonical",
-// "dsta", and "mc") report concurrent_speculations = false and must be
-// scored serially.
+// context (the generic mutate/re-run/revert fallback used by "canonical"
+// and "mc") report concurrent_speculations = false and must be scored
+// serially.
 //
-// The FULLSSTA implementation is *incremental*: a speculation re-propagates
-// only the candidate's fanout cone (loads, slews, arc delays, arrival pdfs)
-// against a private arrival overlay, and both the score and the committed
-// base are bitwise-identical to a from-scratch TimingContext::update() +
-// ssta::run_fullssta() of the resized netlist. This is what lets the
-// optimizer score accurate rescue confirmations in parallel and commit them
-// serially in gain order without changing any result.
+// The FULLSSTA, FASSTA, and DSTA implementations are *incremental*: a
+// speculation re-propagates only the candidate's fanout cone (loads, slews,
+// arc delays, then arrival pdfs / moments / deterministic arrivals) against
+// a private overlay, and both the score and the committed base are
+// bitwise-identical to a from-scratch TimingContext::update() + full engine
+// run of the resized netlist. All three commit by patching the snapshot in
+// place (TimingContext::apply_snapshot_patch — bitwise-equal to a full
+// update() without the O(E) rebuild), which is what lets area recovery
+// commit thousands of accepted downsizes without a single full snapshot
+// refresh. This is also what lets the optimizer score accurate rescue
+// confirmations in parallel and commit them serially in gain order without
+// changing any result.
 #pragma once
 
 #include <cstdint>
@@ -80,7 +85,8 @@ struct Capabilities {
   /// in flight (the optimizer's batch/bump pattern).
   bool concurrent_speculations = false;
   /// score() is bitwise-identical to a from-scratch analyze() of the resized
-  /// netlist (false for FASSTA, whose what-if reuses snapshot slews).
+  /// netlist (FULLSSTA/FASSTA/DSTA re-propagate the full fanout cone —
+  /// loads, slews, arc delays — so their incremental scores are exact).
   bool exact_speculation = false;
 };
 

@@ -1,0 +1,115 @@
+#include "timing/cone.h"
+
+#include <algorithm>
+
+namespace statsizer::timing::detail {
+
+using netlist::GateId;
+
+void LoadTerms::rebuild(const sta::TimingContext& ctx) {
+  const auto& nl = ctx.netlist();
+  const std::size_t n = nl.node_count();
+  terms_.assign(n, {});
+  // Visit order identical to update()'s load loop: pushing onto the
+  // driver's list as each gate is visited reproduces, per driver, the
+  // exact sequence of += operations update() performs.
+  for (GateId id = 0; id < n; ++id) {
+    const auto& g = nl.gate(id);
+    if (g.po_count > 0) terms_[id].push_back(LoadTerm{netlist::kNoGate, 0});
+    if (g.cell_group == netlist::kUnmapped) continue;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      terms_[g.fanins[i]].push_back(LoadTerm{id, static_cast<std::uint32_t>(i)});
+    }
+  }
+}
+
+double LoadTerms::speculative_load(const sta::TimingContext& ctx, GateId d,
+                                   std::span<const liberty::Cell* const> cand) const {
+  const auto& nl = ctx.netlist();
+  double load = 0.0;
+  for (const LoadTerm& t : terms_[d]) {
+    if (t.consumer == netlist::kNoGate) {
+      load += ctx.options().primary_output_load_ff * nl.gate(d).po_count;
+    } else {
+      const auto& cg = nl.gate(t.consumer);
+      const liberty::Cell* c = cand[t.consumer];
+      if (c == nullptr) c = &ctx.library().cell_for(cg.cell_group, cg.size_index);
+      load += c->input_cap_ff(t.fanin_index);
+    }
+  }
+  return load;
+}
+
+void ConeSnapshot::propagate(const sta::TimingContext& ctx, const LoadTerms& terms,
+                             std::span<const Resize> resizes) {
+  const auto& nl = ctx.netlist();
+  const std::size_t n = nl.node_count();
+
+  cand.assign(n, nullptr);
+  for (const Resize& r : resizes) {
+    cand[r.gate] = &ctx.library().cell_for(nl.gate(r.gate).cell_group, r.size);
+  }
+
+  // Seeds: every resized gate (its arc delays change) and each of its
+  // drivers (their loads change; for mapped drivers that also means delays
+  // and slews). Unconditionally recomputing a driver whose cap delta happens
+  // to be zero is harmless: the recomputation reproduces the base bitwise.
+  dirty.assign(n, 0);
+  load_dirty.assign(n, 0);
+  load.assign(n, 0.0);
+  slew.assign(n, 0.0);
+  arc_delay.assign(ctx.arc_count(), 0.0);
+  arc_sigma.assign(ctx.arc_count(), 0.0);
+  std::vector<GateId> stack;
+  const auto mark = [&](GateId g) {
+    if (!dirty[g]) {
+      dirty[g] = 1;
+      stack.push_back(g);
+    }
+  };
+  for (const Resize& r : resizes) {
+    mark(r.gate);
+    for (const GateId d : nl.gate(r.gate).fanins) {
+      if (!load_dirty[d]) {
+        load_dirty[d] = 1;
+        load[d] = terms.speculative_load(ctx, d, cand);
+      }
+      // A PI/constant driver's load feeds no arc: patch it, don't propagate.
+      if (ctx.has_cell(d)) mark(d);
+    }
+  }
+  // Downstream closure: a changed slew or arrival dirties every fanout.
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const GateId f : nl.gate(g).fanouts) mark(f);
+  }
+
+  // Re-propagate the dirty set in topological order, mirroring update()'s
+  // slew/delay/sigma loop (unmapped nodes keep the base slew and zero arcs,
+  // exactly as update() leaves them).
+  for (const GateId id : ctx.topo_order()) {
+    if (!dirty[id]) continue;
+    const auto& g = nl.gate(id);
+    if (!ctx.has_cell(id)) {
+      slew[id] = ctx.slew_ps(id);
+      continue;
+    }
+    const liberty::Cell* cell = cand[id] != nullptr ? cand[id] : &ctx.cell(id);
+    const double ld = load_dirty[id] ? load[id] : ctx.load_ff(id);
+    double out_slew = 0.0;
+    const std::uint32_t off = ctx.arc_offset(id);
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      const GateId fi = g.fanins[i];
+      const double in_slew = dirty[fi] ? slew[fi] : ctx.slew_ps(fi);
+      const liberty::TimingArc& arc = cell->arc_from(i);
+      const double d = arc.delay(in_slew, ld);
+      arc_delay[off + i] = d;
+      arc_sigma[off + i] = ctx.sigma_for(*cell, d);
+      out_slew = std::max(out_slew, arc.output_slew(in_slew, ld));
+    }
+    slew[id] = out_slew;
+  }
+}
+
+}  // namespace statsizer::timing::detail

@@ -1,34 +1,32 @@
 // FULLSSTA behind the timing::Analyzer interface, with the incremental
 // what-if overlay that makes parallel speculative confirmations possible.
 //
-// A speculation re-propagates only the resize's fanout cone: the loads of
-// the resized gates' drivers, then — in topological order over the dirty
-// set — slews, arc delays, arc sigmas, and arrival pdfs, reading everything
-// outside the cone from the analyzer's cached base. The recomputation
-// MIRRORS TimingContext::update() and ssta::run_fullssta() operation for
-// operation (same formulas, same accumulation order), which is what makes
-// the score — and the base state a commit() installs — bitwise-identical to
-// a from-scratch update() + run_fullssta() of the resized netlist. The
-// conformance suite (tests/analyzer_conformance_test.cpp) pins this.
-//
-// The one subtle mirror is the load accumulation: update() folds every
-// driver's load in netlist-visit order (the primary-output term when the
-// outer loop reaches the driver itself, each consumer's pin cap when it
-// reaches that consumer), and floating-point addition is not associative —
-// adding a cap *delta* to the cached load would drift by an ULP. The
-// analyzer therefore precomputes each driver's ordered term list once per
-// analyze() and re-folds the full sum with candidate cells substituted.
+// A speculation re-propagates only the resize's fanout cone: the snapshot
+// half (loads of the resized gates' drivers re-folded in update()'s exact
+// accumulation order, then slews / arc delays / arc sigmas over the dirty
+// set) comes from the shared detail::ConeSnapshot (timing/cone.h — also the
+// engine behind the FASSTA/DSTA what-ifs); this file adds the pdf half,
+// propagating arrival pdfs over the same dirty set in topological order and
+// reading everything outside the cone from the analyzer's cached base. The
+// recomputation MIRRORS TimingContext::update() and ssta::run_fullssta()
+// operation for operation, which is what makes the score — and the base
+// state a commit() installs — bitwise-identical to a from-scratch update()
+// + run_fullssta() of the resized netlist. The conformance suite
+// (tests/analyzer_conformance_test.cpp) pins this. Commits install the
+// snapshot half through TimingContext::apply_snapshot_patch (bitwise-equal
+// to a full update(), without the O(E) rebuild).
 //
 // Overlay storage is dense (GateId-indexed vectors, cleared per score):
 // the O(nodes) clears are memset-class and dwarfed by the cone's pdf
-// convolutions, but each live speculation holds O(nodes) overlay memory —
-// callers that score many speculations concurrently should window their
-// waves (opt::size_statistically caps waves at a few times the worker
+// convolutions, but each live speculation holds O(nodes + arcs) overlay
+// memory — callers that score many speculations concurrently should window
+// their waves (opt::size_statistically caps waves at a few times the worker
 // count).
 #include <algorithm>
 #include <utility>
 
 #include "timing/analyzer_impl.h"
+#include "timing/cone.h"
 
 namespace statsizer::timing::detail {
 
@@ -55,7 +53,7 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
 
   const Summary& analyze(sta::TimingContext& ctx) override {
     ctx_ = &ctx;
-    rebuild_load_terms(ctx);
+    load_terms_.rebuild(ctx);
     ssta::FullSstaOptions opt = options_;
     opt.keep_node_pdfs = true;
     ssta::FullSstaResult r = ssta::run_fullssta(ctx, opt);
@@ -80,49 +78,6 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
   }
 
  private:
-  /// One addition into a driver's load, in TimingContext::update() order.
-  /// consumer == kNoGate encodes the primary-output term.
-  struct LoadTerm {
-    GateId consumer = netlist::kNoGate;
-    std::uint32_t fanin_index = 0;
-  };
-
-  void rebuild_load_terms(const sta::TimingContext& ctx) {
-    const auto& nl = ctx.netlist();
-    const std::size_t n = nl.node_count();
-    load_terms_.assign(n, {});
-    // Visit order identical to update()'s load loop: pushing onto the
-    // driver's list as each gate is visited reproduces, per driver, the
-    // exact sequence of += operations update() performs.
-    for (GateId id = 0; id < n; ++id) {
-      const auto& g = nl.gate(id);
-      if (g.po_count > 0) load_terms_[id].push_back(LoadTerm{netlist::kNoGate, 0});
-      if (g.cell_group == netlist::kUnmapped) continue;
-      for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-        load_terms_[g.fanins[i]].push_back(LoadTerm{id, static_cast<std::uint32_t>(i)});
-      }
-    }
-  }
-
-  /// Driver @p d's load with the speculation's candidate cells substituted:
-  /// the full sum re-folded in update() order (see the header comment).
-  [[nodiscard]] double speculative_load(const sta::TimingContext& ctx, GateId d,
-                                        std::span<const liberty::Cell* const> cand) const {
-    const auto& nl = ctx.netlist();
-    double load = 0.0;
-    for (const LoadTerm& t : load_terms_[d]) {
-      if (t.consumer == netlist::kNoGate) {
-        load += ctx.options().primary_output_load_ff * nl.gate(d).po_count;
-      } else {
-        const auto& cg = nl.gate(t.consumer);
-        const liberty::Cell* c = cand[t.consumer];
-        if (c == nullptr) c = &ctx.library().cell_for(cg.cell_group, cg.size_index);
-        load += c->input_cap_ff(t.fanin_index);
-      }
-    }
-    return load;
-  }
-
   class WhatIfSpeculation final : public Speculation {
    public:
     WhatIfSpeculation(FullSstaAnalyzer& owner, sta::TimingContext& ctx,
@@ -145,7 +100,8 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
       if (!scored_) (void)score();  // must run against the pre-resize snapshot
       auto& nl = ctx_.mutable_netlist();
       for (const Resize& r : resizes_) nl.gate(r.gate).size_index = r.size;
-      ctx_.update();
+      ctx_.apply_snapshot_patch(cone_.dirty, cone_.load_dirty, cone_.load, cone_.slew,
+                                cone_.arc_delay, cone_.arc_sigma);
       owner_.merge(*this);  // installs the overlay as the new base; bumps epoch
       committed_ = true;
     }
@@ -153,90 +109,36 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
     void rollback() override {}  // the overlay never touched shared state
 
    private:
-    /// The incremental re-propagation (see file header).
+    /// The incremental re-propagation: the shared snapshot half, then the
+    /// pdf half mirroring run_fullssta()'s loop over the dirty set.
     void propagate() {
       const auto& nl = ctx_.netlist();
       const std::size_t n = nl.node_count();
       const std::size_t samples = owner_.options_.samples_per_pdf;
       const double span_sigmas = owner_.options_.span_sigmas;
 
-      // Candidate cell per gate (nullptr = keep the bound cell).
-      std::vector<const liberty::Cell*> cand(n, nullptr);
-      for (const Resize& r : resizes_) {
-        cand[r.gate] = &ctx_.library().cell_for(nl.gate(r.gate).cell_group, r.size);
-      }
+      cone_.propagate(ctx_, owner_.load_terms_, resizes_);
 
-      // Seeds: every resized gate (its arc delays change) and each of its
-      // mapped drivers (their loads — hence delays and slews — change).
-      // Unconditionally recomputing a driver whose cap delta happens to be
-      // zero is harmless: the recomputation reproduces the base bitwise.
-      dirty_.assign(n, 0);
-      std::vector<std::uint8_t> load_dirty(n, 0);
-      std::vector<double> ov_load(n, 0.0);
-      std::vector<double> ov_slew(n, 0.0);
-      std::vector<GateId> stack;
-      const auto mark = [&](GateId g) {
-        if (!dirty_[g]) {
-          dirty_[g] = 1;
-          stack.push_back(g);
-        }
-      };
-      for (const Resize& r : resizes_) {
-        mark(r.gate);
-        for (const GateId d : nl.gate(r.gate).fanins) {
-          if (!ctx_.has_cell(d)) continue;  // PI/constant: load feeds no arc
-          if (!load_dirty[d]) {
-            load_dirty[d] = 1;
-            ov_load[d] = owner_.speculative_load(ctx_, d, cand);
-          }
-          mark(d);
-        }
-      }
-      // Downstream closure: a changed slew or arrival dirties every fanout.
-      while (!stack.empty()) {
-        const GateId g = stack.back();
-        stack.pop_back();
-        for (const GateId f : nl.gate(g).fanouts) mark(f);
-      }
-
-      // Re-propagate the dirty set in topological order, mirroring
-      // update()'s slew/delay/sigma loop and run_fullssta()'s pdf loop.
       ov_arrival_.assign(n, DiscretePdf());
       ov_moments_.assign(n, sta::NodeMoments{});
       const auto arrival_of = [&](GateId id) -> const DiscretePdf& {
-        return dirty_[id] ? ov_arrival_[id] : owner_.base_arrival_[id];
+        return cone_.dirty[id] ? ov_arrival_[id] : owner_.base_arrival_[id];
       };
       for (const GateId id : ctx_.topo_order()) {
-        if (!dirty_[id]) continue;
+        if (!cone_.dirty[id]) continue;
         const auto& g = nl.gate(id);
         if (g.fanins.empty()) {  // unreachable for dirty nodes; mirror anyway
           ov_arrival_[id] = DiscretePdf::point(0.0);
-          ov_slew[id] = ctx_.slew_ps(id);
           continue;
         }
-        const bool mapped = ctx_.has_cell(id);
-        const double load = load_dirty[id] ? ov_load[id] : ctx_.load_ff(id);
-        const liberty::Cell* cell = nullptr;
-        if (mapped) cell = cand[id] != nullptr ? cand[id] : &ctx_.cell(id);
-
+        const std::uint32_t off = ctx_.arc_offset(id);
         DiscretePdf acc;
-        double out_slew = 0.0;
         for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-          const GateId fi = g.fanins[i];
-          const double in_slew = dirty_[fi] ? ov_slew[fi] : ctx_.slew_ps(fi);
-          double d = 0.0;
-          double s = 0.0;
-          if (mapped) {
-            const liberty::TimingArc& arc = cell->arc_from(i);
-            d = arc.delay(in_slew, load);
-            s = ctx_.sigma_for(*cell, d);
-            out_slew = std::max(out_slew, arc.output_slew(in_slew, load));
-          }
-          const DiscretePdf delay = DiscretePdf::normal(d, s, samples, span_sigmas);
-          const DiscretePdf through = pdf::sum(arrival_of(fi), delay, samples);
+          const DiscretePdf delay = DiscretePdf::normal(
+              cone_.arc_delay[off + i], cone_.arc_sigma[off + i], samples, span_sigmas);
+          const DiscretePdf through = pdf::sum(arrival_of(g.fanins[i]), delay, samples);
           acc = (i == 0) ? through : pdf::max(acc, through, samples);
         }
-        ov_slew[id] = mapped ? out_slew : ctx_.slew_ps(id);
         ov_moments_[id] = sta::NodeMoments{acc.mean(), acc.stddev()};
         ov_arrival_[id] = std::move(acc);
       }
@@ -261,7 +163,7 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
     bool scored_ = false;
     bool committed_ = false;
     // Overlay state, kept after score() so commit() can merge it.
-    std::vector<std::uint8_t> dirty_;
+    ConeSnapshot cone_;
     std::vector<DiscretePdf> ov_arrival_;
     std::vector<sta::NodeMoments> ov_moments_;
     DiscretePdf ov_output_;
@@ -273,7 +175,7 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
   void merge(WhatIfSpeculation& spec) {
     const std::size_t n = base_arrival_.size();
     for (GateId id = 0; id < n; ++id) {
-      if (!spec.dirty_[id]) continue;
+      if (!spec.cone_.dirty[id]) continue;
       base_arrival_[id] = std::move(spec.ov_arrival_[id]);
       base_.node[id] = spec.ov_moments_[id];
     }
@@ -285,7 +187,7 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
 
   ssta::FullSstaOptions options_;
   std::vector<DiscretePdf> base_arrival_;
-  std::vector<std::vector<LoadTerm>> load_terms_;
+  LoadTerms load_terms_;
 };
 
 }  // namespace

@@ -108,6 +108,25 @@ TEST(Flow, OptimizeWithOverrides) {
   EXPECT_DOUBLE_EQ(rec.lambda, 9.0);
 }
 
+TEST(Flow, OptimizeKeepsCallerFullSstaOverrides) {
+  // Regression: optimize() used to overwrite overrides->fullssta with the
+  // flow's own options after copying the struct, so a caller-supplied pdf
+  // resolution silently reverted to the flow default. The record's output
+  // pdf is produced by the engines the run actually used, so its size is a
+  // direct witness of which options won.
+  Flow flow;
+  ASSERT_TRUE(flow.load_table1("alu2").ok());
+  (void)flow.run_baseline();
+  opt::StatisticalSizerOptions overrides;
+  overrides.max_iterations = 1;
+  overrides.fullssta.samples_per_pdf = 9;  // flow default: 13
+  const OptimizationRecord rec = flow.optimize(3.0, &overrides);
+  EXPECT_EQ(rec.output_pdf.size(), 9u);
+  // And without overrides the flow's own options still apply.
+  const OptimizationRecord defaulted = flow.optimize(3.0);
+  EXPECT_EQ(defaulted.output_pdf.size(), 13u);
+}
+
 TEST(Flow, LoadReplacesCircuit) {
   Flow flow;
   ASSERT_TRUE(flow.load_table1("alu2").ok());
