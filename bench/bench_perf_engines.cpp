@@ -1,7 +1,15 @@
 // P1 — engine throughput microbenchmarks (google-benchmark): how much
 // cheaper is FASSTA than FULLSSTA and Monte Carlo on real workloads. These
 // ratios justify the paper's two-engine nesting.
+//
+// `--json <path>` writes the per-benchmark wall/CPU times as machine-
+// readable JSON (google-benchmark's JSON schema) for the perf trajectory
+// snapshots under scripts/bench_snapshot.sh.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/flow.h"
 #include "fassta/engine.h"
@@ -26,6 +34,25 @@ core::Flow& flow_for(const std::string& name) {
     }
     (void)flow->run_baseline();
     it = cache.emplace(name, std::move(flow)).first;
+  }
+  return *it->second;
+}
+
+/// Lightweight fixture for the propagation-kernel benches: a mapped Table-1
+/// workload with the context's wavefront threads pinned, no optimizer passes
+/// (update()/run_fullssta cost does not depend on the sizing state).
+core::Flow& raw_flow_for(const std::string& name, std::size_t threads) {
+  static std::map<std::pair<std::string, std::size_t>, std::unique_ptr<core::Flow>> cache;
+  const auto key = std::make_pair(name, threads);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::FlowOptions options;
+    options.timing.threads = threads;
+    auto flow = std::make_unique<core::Flow>(options);
+    if (const Status s = flow->load_table1(name); !s.ok()) {
+      throw std::runtime_error(s.message());
+    }
+    it = cache.emplace(key, std::move(flow)).first;
   }
   return *it->second;
 }
@@ -273,6 +300,68 @@ void BM_TimingUpdate(benchmark::State& state, const std::string& name) {
   }
 }
 
+/// Levelized wavefront update(): state.range(0) worker threads, with a
+/// one-shot check that the parallel snapshot is bitwise-identical to the
+/// serial one (loads, slews, arc delays/sigmas, area).
+void BM_UpdateThreads(benchmark::State& state, const std::string& name) {
+  auto& serial = raw_flow_for(name, 1);
+  auto& flow = raw_flow_for(name, static_cast<std::size_t>(state.range(0)));
+  serial.timing().update();
+  flow.timing().update();
+  const auto& a = serial.timing();
+  const auto& b = flow.timing();
+  bool identical = a.area_um2() == b.area_um2();
+  for (netlist::GateId g = 0; identical && g < a.netlist().node_count(); ++g) {
+    identical = a.load_ff(g) == b.load_ff(g) && a.slew_ps(g) == b.slew_ps(g);
+    for (std::size_t i = 0; identical && i < a.netlist().gate(g).fanins.size(); ++i) {
+      identical = a.arc_delay_ps(g, i) == b.arc_delay_ps(g, i) &&
+                  a.arc_sigma_ps(g, i) == b.arc_sigma_ps(g, i);
+    }
+  }
+  if (!identical) {
+    state.SkipWithError("parallel update() diverged from the serial snapshot");
+    return;
+  }
+
+  for (auto _ : state) {
+    flow.timing().update();
+  }
+  const auto& lv = flow.timing().levelization();
+  state.SetLabel(std::to_string(flow.netlist().logic_gate_count()) + " gates, " +
+                 std::to_string(lv.level_count()) + " levels");
+}
+
+/// Levelized wavefront FULLSSTA: state.range(0) worker threads for the
+/// arrival-pdf propagation, with a one-shot serial-identity check
+/// (mean/sigma/per-node moments bitwise).
+void BM_FullSstaThreads(benchmark::State& state, const std::string& name) {
+  auto& flow = raw_flow_for(name, 1);
+  ssta::FullSstaOptions opt;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+
+  ssta::FullSstaOptions serial = opt;
+  serial.threads = 1;
+  const auto reference = ssta::run_fullssta(flow.timing(), serial);
+  const auto parallel = ssta::run_fullssta(flow.timing(), opt);
+  bool identical = parallel.mean_ps == reference.mean_ps &&
+                   parallel.sigma_ps == reference.sigma_ps &&
+                   parallel.node.size() == reference.node.size();
+  for (std::size_t i = 0; identical && i < reference.node.size(); ++i) {
+    identical = parallel.node[i].mean_ps == reference.node[i].mean_ps &&
+                parallel.node[i].sigma_ps == reference.node[i].sigma_ps;
+  }
+  if (!identical) {
+    state.SkipWithError("parallel FULLSSTA diverged from the serial reference");
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssta::run_fullssta(flow.timing(), opt));
+  }
+  state.SetLabel("mean=" + std::to_string(reference.mean_ps) +
+                 "ps sigma=" + std::to_string(reference.sigma_ps) + "ps");
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Fassta, alu2, std::string("alu2"));
@@ -311,5 +400,44 @@ BENCHMARK_CAPTURE(BM_AreaRecoveryThreads, c880, std::string("c880"))
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_TimingUpdate, c880, std::string("c880"));
+BENCHMARK_CAPTURE(BM_UpdateThreads, c880, std::string("c880"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_FullSstaThreads, c880, std::string("c880"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main: `--json <path>` is shorthand for google-benchmark's
+// --benchmark_out=<path> --benchmark_out_format=json, so callers (and
+// scripts/bench_snapshot.sh) get per-benchmark wall/CPU times as JSON
+// without memorizing the long flags.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (std::string& a : args) cargv.push_back(a.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

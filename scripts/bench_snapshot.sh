@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Perf trajectory snapshot: builds bench_perf_engines and records the
+# propagation-kernel benchmarks (serial + wavefront update()/FULLSSTA and
+# their thread sweeps) as machine-readable JSON.
+#
+#   scripts/bench_snapshot.sh                 # writes BENCH_update_levelized.json
+#   scripts/bench_snapshot.sh out.json        # custom output path
+#   scripts/bench_snapshot.sh out.json REGEX  # custom --benchmark_filter
+#
+# The JSON (google-benchmark schema: per-benchmark real_time / cpu_time plus
+# the run context) is the repo's perf trajectory — commit a snapshot per perf
+# PR so later sessions can diff kernels against it. Numbers are only
+# comparable between snapshots taken on the same host; the committed file
+# also records the host context for exactly that reason.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_update_levelized.json}"
+FILTER="${2:-BM_TimingUpdate|BM_UpdateThreads|BM_FullSstaThreads|BM_Fullssta/c880}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}" --target bench_perf_engines >/dev/null
+
+./build/bench_perf_engines --json "${OUT}" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.2
+
+echo "bench_snapshot.sh: wrote ${OUT}"

@@ -51,6 +51,10 @@ if [[ "${ASAN}" == 1 ]]; then
   # screening waves' per-speculation overlays, the incremental snapshot
   # patching (TimingContext::apply_snapshot_patch), and the chunk-rollback
   # restore path are all concurrent-lifetime code the sanitizer should walk.
+  # LevelizedUpdate/LevelizedWhatIf stay in too: the wavefront update()/
+  # FULLSSTA/cone-replay kernels write shared preallocated arrays from pool
+  # workers with level barriers between waves — exactly the code whose
+  # races/overruns only a sanitized multithreaded run would catch.
   CTEST_EXTRA=(-E 'FlowRegression|Table1|StatisticalSizer')
   run_suite build-asan -DSTATSIZER_SANITIZE=ON -DSTATSIZER_BUILD_BENCHES=OFF \
     -DSTATSIZER_BUILD_EXAMPLES=OFF

@@ -95,6 +95,7 @@ GateId Netlist::add_input(std::string name) {
   gates_.push_back(std::move(g));
   by_name_.emplace(std::move(name), id);
   inputs_.push_back(id);
+  ++structure_version_;
   return id;
 }
 
@@ -112,6 +113,7 @@ GateId Netlist::add_gate(GateFunc func, std::span<const GateId> fanins, std::str
   by_name_.emplace(g.name, id);
   gates_.push_back(std::move(g));
   for (GateId f : fanins) gates_[f].fanouts.push_back(id);
+  ++structure_version_;
   return id;
 }
 
@@ -123,6 +125,7 @@ void Netlist::add_output(std::string name, GateId driver) {
   if (driver >= gates_.size()) throw std::out_of_range("output driver id out of range");
   outputs_.push_back(Output{std::move(name), driver});
   ++gates_[driver].po_count;
+  ++structure_version_;
 }
 
 void Netlist::detach_fanin_edges(GateId id) {
@@ -144,6 +147,7 @@ void Netlist::rewire(GateId id, GateFunc func, std::span<const GateId> fanins) {
   gates_[id].func = func;
   gates_[id].fanins.assign(fanins.begin(), fanins.end());
   for (GateId f : fanins) gates_[f].fanouts.push_back(id);
+  ++structure_version_;
 }
 
 void Netlist::transfer_fanouts(GateId from, GateId to) {
@@ -162,6 +166,7 @@ void Netlist::transfer_fanouts(GateId from, GateId to) {
       ++gates_[to].po_count;
     }
   }
+  ++structure_version_;
 }
 
 std::size_t Netlist::logic_gate_count() const {

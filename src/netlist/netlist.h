@@ -146,6 +146,15 @@ class Netlist {
   [[nodiscard]] std::vector<std::uint16_t> sizes() const;
   void set_sizes(std::span<const std::uint16_t> sizes);
 
+  // -- structure version -------------------------------------------------------
+
+  /// Monotone counter bumped by every structural mutation (add_input,
+  /// add_gate, add_output, rewire, transfer_fanouts). Sizing changes
+  /// (size_index, set_sizes) do NOT bump it. Derived caches keyed on the
+  /// structure — topological orders, Levelization — record the version they
+  /// were built at and compare against this to detect staleness.
+  [[nodiscard]] std::uint64_t structure_version() const { return structure_version_; }
+
   // -- validation --------------------------------------------------------------
 
   /// Structural sanity: fanin/fanout symmetry, arities, outputs driven,
@@ -162,6 +171,7 @@ class Netlist {
   std::vector<Output> outputs_;
   std::unordered_map<std::string, GateId> by_name_;
   std::uint64_t autoname_ = 0;
+  std::uint64_t structure_version_ = 0;
 };
 
 }  // namespace statsizer::netlist

@@ -16,9 +16,11 @@ FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions
 
   std::vector<DiscretePdf> arrival(nl.node_count(), DiscretePdf::point(0.0));
 
-  for (const GateId id : ctx.topo_order()) {
+  // One gate's arrival from its (already finished) fanins: reads lower-level
+  // pdfs, writes only the gate's own slots.
+  const auto propagate_gate = [&](GateId id) {
     const auto& g = nl.gate(id);
-    if (g.fanins.empty()) continue;  // PI / constant: point mass at 0
+    if (g.fanins.empty()) return;  // PI / constant: point mass at 0
 
     DiscretePdf acc;
     for (std::size_t i = 0; i < g.fanins.size(); ++i) {
@@ -29,6 +31,24 @@ FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions
     }
     result.node[id] = sta::NodeMoments{acc.mean(), acc.stddev()};
     arrival[id] = std::move(acc);
+  };
+
+  if (options.threads == 1) {
+    for (const GateId id : ctx.topo_order()) propagate_gate(id);
+  } else {
+    // Levelized wavefront: gates of one level are independent (all fanins
+    // live in strictly lower levels), so each level fans across the pool and
+    // acts as the barrier for the next. Per-gate pdf convolutions are heavy
+    // (~samples^2 work each), so chunk size 1 load-balances best.
+    const netlist::Levelization& lv = ctx.levelization();
+    const std::size_t cutoff = ctx.options().min_level_width_for_parallel;
+    for (std::size_t l = 0; l < lv.level_count(); ++l) {
+      const std::span<const GateId> level = lv.level(l);
+      // Chunk size 1: per-gate pdf convolutions are heavy (~samples^2 work
+      // each), so per-gate scheduling load-balances best.
+      sta::run_wavefront_level(level, level.size(), cutoff, 1, options.threads,
+                               propagate_gate);
+    }
   }
 
   // RV_O = statistical max over all primary outputs.

@@ -22,6 +22,14 @@ struct FullSstaOptions {
   /// Off by default: the pdfs are only needed by consumers that re-propagate
   /// increments against them (timing::Analyzer's what-if overlay).
   bool keep_node_pdfs = false;
+  /// Worker threads for the arrival-pdf propagation: gates of one level fan
+  /// across util::ThreadPool (fanins live in strictly lower levels, so a
+  /// level's gates are independent; levels are barriers). 1 = the classic
+  /// serial topo-order loop, 0 = hardware concurrency; results are
+  /// bitwise-identical for any value (levelized_update_test pins this).
+  /// Levels narrower than the context's
+  /// TimingOptions::min_level_width_for_parallel run serially.
+  std::size_t threads = 1;
 };
 
 struct FullSstaResult {

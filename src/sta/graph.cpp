@@ -4,19 +4,54 @@
 #include <stdexcept>
 
 #include "netlist/topo.h"
+#include "util/thread_pool.h"
 
 namespace statsizer::sta {
 
 using netlist::GateId;
 
+namespace {
+// Wavefront chunk sizes: a gate's slew/arc relaxation is a handful of NLDM
+// lookups (~hundreds of ns) and a load fold is cheaper still, so chunks are
+// sized to amortize the pool's per-chunk dispatch. Chunk geometry never
+// affects results (per-slot writes).
+constexpr std::size_t kLoadChunk = 64;
+constexpr std::size_t kRelaxChunk = 16;
+}  // namespace
+
 TimingContext::TimingContext(netlist::Netlist& nl, const liberty::Library& lib,
                              const variation::VariationModel& var, TimingOptions options)
     : nl_(nl), lib_(lib), var_(var), options_(options) {
   order_ = netlist::topological_order(nl_);
+  levels_ = netlist::levelize(nl_);
   arc_offset_.assign(nl_.node_count() + 1, 0);
   for (GateId id = 0; id < nl_.node_count(); ++id) {
     arc_offset_[id + 1] =
         arc_offset_[id] + static_cast<std::uint32_t>(nl_.gate(id).fanins.size());
+  }
+  // Per-driver load-term lists (CSR), in update()'s historical visit order:
+  // walking gates by id and appending to each driver's list reproduces, per
+  // driver, the exact sequence of += the one-pass accumulation performed.
+  load_term_offset_.assign(nl_.node_count() + 1, 0);
+  for (GateId id = 0; id < nl_.node_count(); ++id) {
+    const auto& g = nl_.gate(id);
+    if (g.po_count > 0) ++load_term_offset_[id + 1];
+    if (g.cell_group == netlist::kUnmapped) continue;
+    for (const GateId f : g.fanins) ++load_term_offset_[f + 1];
+  }
+  for (GateId id = 0; id < nl_.node_count(); ++id) {
+    load_term_offset_[id + 1] += load_term_offset_[id];
+  }
+  load_terms_.resize(load_term_offset_[nl_.node_count()]);
+  std::vector<std::uint32_t> cursor(load_term_offset_.begin(), load_term_offset_.end() - 1);
+  for (GateId id = 0; id < nl_.node_count(); ++id) {
+    const auto& g = nl_.gate(id);
+    if (g.po_count > 0) load_terms_[cursor[id]++] = LoadTerm{netlist::kNoGate, 0};
+    if (g.cell_group == netlist::kUnmapped) continue;
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      load_terms_[cursor[g.fanins[i]]++] =
+          LoadTerm{id, static_cast<std::uint32_t>(i)};
+    }
   }
   update();
 }
@@ -42,42 +77,78 @@ double TimingContext::gate_delay_ps(GateId g) const {
   return worst;
 }
 
+void TimingContext::relax_gate(GateId id) {
+  const auto& g = nl_.gate(id);
+  if (g.cell_group == netlist::kUnmapped) return;  // PI or constant
+  const liberty::Cell& c = lib_.cell_for(g.cell_group, g.size_index);
+  const double load = load_[id];
+  double out_slew = 0.0;
+  for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+    const liberty::TimingArc& arc = c.arc_from(i);
+    const double in_slew = slew_[g.fanins[i]];
+    const double d = arc.delay(in_slew, load);
+    arc_delay_[arc_offset_[id] + i] = d;
+    arc_sigma_[arc_offset_[id] + i] = var_.sigma_ps(d, c.drive);
+    out_slew = std::max(out_slew, arc.output_slew(in_slew, load));
+  }
+  slew_[id] = out_slew;
+}
+
 void TimingContext::update() {
+  // The context's derived structure (topo order, levelization, arc offsets,
+  // load-term lists) is frozen at construction; a structural netlist edit
+  // afterwards would make this pass silently wrong, so fail loudly instead
+  // (structure_version exists precisely for this check).
+  if (!levels_.valid_for(nl_)) {
+    throw std::logic_error(
+        "TimingContext::update: netlist structure changed after construction "
+        "(build a fresh TimingContext)");
+  }
   const std::size_t n = nl_.node_count();
   load_.assign(n, 0.0);
   slew_.assign(n, options_.primary_input_slew_ps);
   arc_delay_.assign(arc_offset_[n], 0.0);
   arc_sigma_.assign(arc_offset_[n], 0.0);
-  area_um2_ = 0.0;
 
-  // Loads: consumers' pin caps plus primary-output loads.
+  // Area: serial fold in id order — the accumulation sequence is part of the
+  // bitwise contract (apply_snapshot_patch re-sums the same way).
+  area_um2_ = 0.0;
   for (GateId id = 0; id < n; ++id) {
     const auto& g = nl_.gate(id);
-    if (g.po_count > 0) load_[id] += options_.primary_output_load_ff * g.po_count;
     if (g.cell_group == netlist::kUnmapped) continue;
-    const liberty::Cell& c = lib_.cell_for(g.cell_group, g.size_index);
-    area_um2_ += c.area_um2;
-    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-      load_[g.fanins[i]] += c.input_cap_ff(i);
-    }
+    area_um2_ += lib_.cell_for(g.cell_group, g.size_index).area_um2;
   }
 
-  // Slews / arc delays / sigmas in topological order.
-  for (const GateId id : order_) {
-    const auto& g = nl_.gate(id);
-    if (g.cell_group == netlist::kUnmapped) continue;  // PI or constant
-    const liberty::Cell& c = lib_.cell_for(g.cell_group, g.size_index);
-    const double load = load_[id];
-    double out_slew = 0.0;
-    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-      const liberty::TimingArc& arc = c.arc_from(i);
-      const double in_slew = slew_[g.fanins[i]];
-      const double d = arc.delay(in_slew, load);
-      arc_delay_[arc_offset_[id] + i] = d;
-      arc_sigma_[arc_offset_[id] + i] = var_.sigma_ps(d, c.drive);
-      out_slew = std::max(out_slew, arc.output_slew(in_slew, load));
-    }
-    slew_[id] = out_slew;
+  // Loads: each driver's terms fold independently (per-slot write, term
+  // order fixed per driver), so this pass is level-free — any split works.
+  const auto bound_cell = [this](GateId consumer) -> const liberty::Cell& {
+    const auto& cg = nl_.gate(consumer);
+    return lib_.cell_for(cg.cell_group, cg.size_index);
+  };
+  const std::size_t threads = options_.threads;
+  if (threads == 1 || n < options_.min_level_width_for_parallel) {
+    for (GateId id = 0; id < n; ++id) load_[id] = fold_load(id, bound_cell);
+  } else {
+    util::parallel_for(n, kLoadChunk, threads,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t id = begin; id < end; ++id) {
+                           load_[id] = fold_load(static_cast<GateId>(id), bound_cell);
+                         }
+                       });
+  }
+
+  // Slews / arc delays / sigmas. Serial: the classic topological sweep.
+  // Parallel: a levelized wavefront — all fanins of a level-l gate live in
+  // strictly lower levels, so within a level gates only read finished slews
+  // and write their own slots; levels form the barriers.
+  if (threads == 1) {
+    for (const GateId id : order_) relax_gate(id);
+    return;
+  }
+  for (std::size_t l = 0; l < levels_.level_count(); ++l) {
+    const std::span<const GateId> level = levels_.level(l);
+    run_wavefront_level(level, level.size(), options_.min_level_width_for_parallel,
+                        kRelaxChunk, threads, [this](GateId id) { relax_gate(id); });
   }
 }
 

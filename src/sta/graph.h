@@ -18,9 +18,34 @@
 
 #include "liberty/model.h"
 #include "netlist/netlist.h"
+#include "netlist/topo.h"
+#include "util/thread_pool.h"
 #include "variation/model.h"
 
 namespace statsizer::sta {
+
+/// Dispatches one wavefront level: runs body(id) for every gate in @p level,
+/// serially when @p width < @p cutoff (or threads == 1), otherwise fanned
+/// across util::ThreadPool in fixed @p chunk pieces. @p width is the number
+/// of gates that will actually do work — level.size() for a full sweep;
+/// replays of a sparse dirty set pass the level's dirty count so clean or
+/// thin waves never pay pool dispatch. Shared by update(), run_fullssta, and
+/// the what-if cone replays; determinism follows from per-slot writes (chunk
+/// geometry and thread count never affect results).
+template <typename Body>
+void run_wavefront_level(std::span<const netlist::GateId> level, std::size_t width,
+                         std::size_t cutoff, std::size_t chunk, std::size_t threads,
+                         Body&& body) {
+  if (width == 0) return;
+  if (threads == 1 || width < cutoff) {
+    for (const netlist::GateId id : level) body(id);
+    return;
+  }
+  util::parallel_for(level.size(), chunk, threads,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t i = begin; i < end; ++i) body(level[i]);
+                     });
+}
 
 /// First two moments of a node's statistical arrival time. FULLSSTA computes
 /// these for every node; FASSTA consumes them as subcircuit boundary
@@ -34,6 +59,35 @@ struct TimingOptions {
   double primary_input_slew_ps = 20.0;
   /// Capacitance modelled at each primary output (e.g. a register's D pin).
   double primary_output_load_ff = 4.0;
+  /// Worker threads for update()'s wavefront passes (load fold, then the
+  /// level-by-level slew/arc sweep). 1 = the classic serial topo-order loop,
+  /// 0 = hardware concurrency. Results are bitwise-identical for any value
+  /// (pinned by levelized_update_test): parallelism is only across the gates
+  /// of one level, each gate's fanin fold stays sequential, and every write
+  /// goes to the gate's own preallocated slot.
+  std::size_t threads = 1;
+  /// Wavefront levels narrower than this run serially even when threads > 1:
+  /// a single-digit-gate level costs more in pool dispatch than its work.
+  /// Default tuned on cla_adder(8) (levels of ~2-10 gates: serial wins) vs
+  /// c880 (tens of gates per level: fan-out wins). Also consulted by
+  /// ssta::run_fullssta and the what-if cone replay.
+  std::size_t min_level_width_for_parallel = 16;
+};
+
+/// One addition into a driver's load, in update()'s exact accumulation
+/// order. consumer == netlist::kNoGate encodes the primary-output load term;
+/// otherwise the term is cell(consumer).input_cap_ff(fanin_index).
+/// Floating-point addition is not associative, so every load computation
+/// that must agree with the snapshot *bitwise* — update() itself and the
+/// exact what-if overlays' speculative re-folds — goes through the same
+/// per-driver term list (TimingContext::load_terms) and the same fold
+/// (TimingContext::fold_load). The one deliberate exception is
+/// load_ff_with_resize's cap-delta shortcut: FASSTA's approximate screening
+/// is built on it and its (ULP-different) values are part of the sizer's
+/// pinned trajectories.
+struct LoadTerm {
+  netlist::GateId consumer = netlist::kNoGate;
+  std::uint32_t fanin_index = 0;
 };
 
 class TimingContext {
@@ -46,7 +100,11 @@ class TimingContext {
                 const variation::VariationModel& var, TimingOptions options = {});
 
   /// Recomputes loads, slews, delays, sigmas, area for the netlist's current
-  /// sizing state. Called automatically by the constructor.
+  /// sizing state. Called automatically by the constructor. With
+  /// TimingOptions::threads > 1 the load fold and the slew/arc sweep run as
+  /// levelized wavefronts across util::ThreadPool — bitwise-identical to the
+  /// serial pass for any thread count. Mutation rule unchanged: update() must
+  /// only run with no parallel region reading the snapshot in flight.
   void update();
 
   // -- bound objects ---------------------------------------------------------
@@ -56,6 +114,11 @@ class TimingContext {
   [[nodiscard]] const variation::VariationModel& variation() const { return var_; }
   [[nodiscard]] const TimingOptions& options() const { return options_; }
   [[nodiscard]] const std::vector<netlist::GateId>& topo_order() const { return order_; }
+  /// Cached level decomposition (computed with the topo order at
+  /// construction; like order_, it describes the netlist's structure, which
+  /// must not change over the context's lifetime). The wavefront kernels —
+  /// update(), ssta::run_fullssta, the cone replay — iterate its levels.
+  [[nodiscard]] const netlist::Levelization& levelization() const { return levels_; }
 
   // -- per-node --------------------------------------------------------------
   /// True for nodes bound to a library cell (logic gates).
@@ -87,6 +150,33 @@ class TimingContext {
 
   // -- aggregates --------------------------------------------------------------
   [[nodiscard]] double area_um2() const { return area_um2_; }
+
+  // -- load terms ---------------------------------------------------------------
+  /// Driver @p d's ordered load-term list (structural: built with the topo
+  /// order, never altered by sizing). Folding the terms in list order with
+  /// the currently bound cells reproduces update()'s load bitwise; the
+  /// what-if overlays fold the same list with candidate cells substituted.
+  [[nodiscard]] std::span<const LoadTerm> load_terms(netlist::GateId d) const {
+    return std::span<const LoadTerm>(load_terms_).subspan(
+        load_term_offset_[d], load_term_offset_[d + 1] - load_term_offset_[d]);
+  }
+
+  /// The one load fold (see LoadTerm): driver @p d's load accumulated in
+  /// update()'s exact term order, with @p cell_of(consumer) supplying each
+  /// consumer's cell. update() passes the bound-cell lookup; speculative
+  /// overlays substitute candidates.
+  template <typename CellOf>
+  [[nodiscard]] double fold_load(netlist::GateId d, CellOf&& cell_of) const {
+    double load = 0.0;
+    for (const LoadTerm& t : load_terms(d)) {
+      if (t.consumer == netlist::kNoGate) {
+        load += options_.primary_output_load_ff * nl_.gate(d).po_count;
+      } else {
+        load += cell_of(t.consumer).input_cap_ff(t.fanin_index);
+      }
+    }
+    return load;
+  }
 
   // -- what-if queries (candidate cell for one gate; snapshot unchanged) -------
   /// Load of @p driver if gate @p center were bound to @p candidate.
@@ -121,7 +211,14 @@ class TimingContext {
   const variation::VariationModel& var_;
   TimingOptions options_;
 
+  /// Serial body of the slew/arc pass for one gate (shared by the serial
+  /// topo-order loop and the per-level wavefront workers).
+  void relax_gate(netlist::GateId id);
+
   std::vector<netlist::GateId> order_;
+  netlist::Levelization levels_;
+  std::vector<std::uint32_t> load_term_offset_;
+  std::vector<LoadTerm> load_terms_;
   std::vector<double> load_;
   std::vector<double> slew_;
   std::vector<std::uint32_t> arc_offset_;

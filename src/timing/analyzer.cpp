@@ -205,7 +205,9 @@ class ConeSpeculation : public Speculation {
   const Summary& score() final {
     if (scored_) return result_;  // cached scores stay readable after invalidation
     owner_.guard_epoch(epoch_);
-    cone_.propagate(ctx_, owner_.load_terms_, resizes_);
+    // The snapshot half replays with update()'s thread knob (wavefront on
+    // the caller's thread; inline when scoring inside a pool worker).
+    cone_.propagate(ctx_, resizes_, ctx_.options().threads);
     propagate_arrivals();
     scored_ = true;
     return result_;
@@ -324,10 +326,7 @@ class FasstaAnalyzer final : public SerializedAnalyzer {
     return s;
   }
 
-  void on_bind(sta::TimingContext& ctx) override {
-    engine_.emplace(ctx, options_);
-    load_terms_.rebuild(ctx);
-  }
+  void on_bind(sta::TimingContext& ctx) override { engine_.emplace(ctx, options_); }
 
   /// Installs a committed speculation's summary scalars (merge_arrivals
   /// already patched the node moments) and invalidates siblings.
@@ -339,7 +338,6 @@ class FasstaAnalyzer final : public SerializedAnalyzer {
 
   fassta::EngineOptions options_;
   std::optional<fassta::Engine> engine_;
-  LoadTerms load_terms_;
 
   template <typename Owner>
   friend class ConeSpeculation;
@@ -426,8 +424,6 @@ class DstaAnalyzer final : public SerializedAnalyzer {
     return s;
   }
 
-  void on_bind(sta::TimingContext& ctx) override { load_terms_.rebuild(ctx); }
-
   void merge_committed(const Summary& scored) {
     base_.mean_ps = scored.mean_ps;
     base_.sigma_ps = 0.0;
@@ -435,7 +431,6 @@ class DstaAnalyzer final : public SerializedAnalyzer {
   }
 
   std::optional<double> clock_period_ps_;
-  LoadTerms load_terms_;
 
   template <typename Owner>
   friend class ConeSpeculation;

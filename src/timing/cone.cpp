@@ -6,42 +6,8 @@ namespace statsizer::timing::detail {
 
 using netlist::GateId;
 
-void LoadTerms::rebuild(const sta::TimingContext& ctx) {
-  const auto& nl = ctx.netlist();
-  const std::size_t n = nl.node_count();
-  terms_.assign(n, {});
-  // Visit order identical to update()'s load loop: pushing onto the
-  // driver's list as each gate is visited reproduces, per driver, the
-  // exact sequence of += operations update() performs.
-  for (GateId id = 0; id < n; ++id) {
-    const auto& g = nl.gate(id);
-    if (g.po_count > 0) terms_[id].push_back(LoadTerm{netlist::kNoGate, 0});
-    if (g.cell_group == netlist::kUnmapped) continue;
-    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-      terms_[g.fanins[i]].push_back(LoadTerm{id, static_cast<std::uint32_t>(i)});
-    }
-  }
-}
-
-double LoadTerms::speculative_load(const sta::TimingContext& ctx, GateId d,
-                                   std::span<const liberty::Cell* const> cand) const {
-  const auto& nl = ctx.netlist();
-  double load = 0.0;
-  for (const LoadTerm& t : terms_[d]) {
-    if (t.consumer == netlist::kNoGate) {
-      load += ctx.options().primary_output_load_ff * nl.gate(d).po_count;
-    } else {
-      const auto& cg = nl.gate(t.consumer);
-      const liberty::Cell* c = cand[t.consumer];
-      if (c == nullptr) c = &ctx.library().cell_for(cg.cell_group, cg.size_index);
-      load += c->input_cap_ff(t.fanin_index);
-    }
-  }
-  return load;
-}
-
-void ConeSnapshot::propagate(const sta::TimingContext& ctx, const LoadTerms& terms,
-                             std::span<const Resize> resizes) {
+void ConeSnapshot::propagate(const sta::TimingContext& ctx, std::span<const Resize> resizes,
+                             std::size_t threads) {
   const auto& nl = ctx.netlist();
   const std::size_t n = nl.node_count();
 
@@ -49,6 +15,10 @@ void ConeSnapshot::propagate(const sta::TimingContext& ctx, const LoadTerms& ter
   for (const Resize& r : resizes) {
     cand[r.gate] = &ctx.library().cell_for(nl.gate(r.gate).cell_group, r.size);
   }
+  const auto cell_of = [&](GateId consumer) -> const liberty::Cell& {
+    const liberty::Cell* c = cand[consumer];
+    return c != nullptr ? *c : ctx.cell(consumer);
+  };
 
   // Seeds: every resized gate (its arc delays change) and each of its
   // drivers (their loads change; for mapped drivers that also means delays
@@ -72,7 +42,9 @@ void ConeSnapshot::propagate(const sta::TimingContext& ctx, const LoadTerms& ter
     for (const GateId d : nl.gate(r.gate).fanins) {
       if (!load_dirty[d]) {
         load_dirty[d] = 1;
-        load[d] = terms.speculative_load(ctx, d, cand);
+        // The shared fold (TimingContext::fold_load): the full sum in
+        // update()'s exact accumulation order, candidates substituted.
+        load[d] = ctx.fold_load(d, cell_of);
       }
       // A PI/constant driver's load feeds no arc: patch it, don't propagate.
       if (ctx.has_cell(d)) mark(d);
@@ -85,15 +57,17 @@ void ConeSnapshot::propagate(const sta::TimingContext& ctx, const LoadTerms& ter
     for (const GateId f : nl.gate(g).fanouts) mark(f);
   }
 
-  // Re-propagate the dirty set in topological order, mirroring update()'s
-  // slew/delay/sigma loop (unmapped nodes keep the base slew and zero arcs,
-  // exactly as update() leaves them).
-  for (const GateId id : ctx.topo_order()) {
-    if (!dirty[id]) continue;
+  // Re-propagate the dirty set, mirroring update()'s slew/delay/sigma loop
+  // (unmapped nodes keep the base slew and zero arcs, exactly as update()
+  // leaves them). A dirty gate reads only lower-level slews — finished by
+  // the level barrier — and writes its own slots, so the wavefront is
+  // bitwise-identical to the serial topological sweep.
+  const auto replay_gate = [&](GateId id) {
+    if (!dirty[id]) return;
     const auto& g = nl.gate(id);
     if (!ctx.has_cell(id)) {
       slew[id] = ctx.slew_ps(id);
-      continue;
+      return;
     }
     const liberty::Cell* cell = cand[id] != nullptr ? cand[id] : &ctx.cell(id);
     const double ld = load_dirty[id] ? load[id] : ctx.load_ff(id);
@@ -109,6 +83,26 @@ void ConeSnapshot::propagate(const sta::TimingContext& ctx, const LoadTerms& ter
       out_slew = std::max(out_slew, arc.output_slew(in_slew, ld));
     }
     slew[id] = out_slew;
+  };
+
+  dirty_per_level.clear();
+  if (threads == 1) {
+    for (const GateId id : ctx.topo_order()) replay_gate(id);
+    return;
+  }
+  // Fan out only where the cone actually is: a resize's dirty closure
+  // usually touches a sliver of each level, so the dispatch decision uses
+  // the level's *dirty* count (clean levels skip entirely, thin ones run
+  // serially). One O(nodes) byte scan — trivial next to the replay work.
+  const netlist::Levelization& lv = ctx.levelization();
+  dirty_per_level.assign(lv.level_count(), 0);
+  for (GateId id = 0; id < n; ++id) {
+    if (dirty[id]) ++dirty_per_level[lv.level_of[id]];
+  }
+  const std::size_t cutoff = ctx.options().min_level_width_for_parallel;
+  for (std::size_t l = 0; l < lv.level_count(); ++l) {
+    sta::run_wavefront_level(lv.level(l), dirty_per_level[l], cutoff, 16, threads,
+                             replay_gate);
   }
 }
 

@@ -2,24 +2,19 @@
 // snapshot half of re-evaluating a set of resizes without mutating the
 // TimingContext. Internal to src/timing (not installed).
 //
-// Two pieces:
-//
-//  * LoadTerms — per-driver ordered load-term lists. TimingContext::update()
-//    folds every driver's load in netlist-visit order (the primary-output
-//    term when the outer loop reaches the driver itself, each consumer's pin
-//    cap when it reaches that consumer), and floating-point addition is not
-//    associative — adding a cap *delta* to the cached load would drift by an
-//    ULP. speculative_load() therefore re-folds the full sum with candidate
-//    cells substituted, reproducing update()'s exact accumulation order.
-//
-//  * ConeSnapshot — the dirty closure of a resize set plus the recomputed
-//    loads, slews, arc delays, and arc sigmas over it, mirroring update()
-//    operation for operation. Values outside the cone are untouched (they
-//    are bitwise-unchanged by the resizes), so an engine that propagates
-//    arrivals over `dirty` in topological order — reading everything else
-//    from its cached base — reproduces a from-scratch update() + full run
-//    bitwise. TimingContext::apply_snapshot_patch() consumes the same arrays
-//    to commit the overlay in place of a full update().
+// ConeSnapshot is the dirty closure of a resize set plus the recomputed
+// loads, slews, arc delays, and arc sigmas over it, mirroring update()
+// operation for operation. Loads are re-folded through the context's shared
+// per-driver term lists (TimingContext::fold_load — floating-point addition
+// is not associative, so adding a cap *delta* to the cached load would
+// drift by an ULP; the full sum is re-folded in update()'s exact
+// accumulation order with candidate cells substituted). Values outside the
+// cone are untouched (they are bitwise-unchanged by the resizes), so an
+// engine that propagates arrivals over `dirty` in topological order —
+// reading everything else from its cached base — reproduces a from-scratch
+// update() + full run bitwise. TimingContext::apply_snapshot_patch()
+// consumes the same arrays to commit the overlay in place of a full
+// update().
 #pragma once
 
 #include <cstdint>
@@ -29,29 +24,6 @@
 #include "timing/analyzer.h"
 
 namespace statsizer::timing::detail {
-
-/// One addition into a driver's load, in TimingContext::update() order.
-/// consumer == kNoGate encodes the primary-output term.
-struct LoadTerm {
-  netlist::GateId consumer = netlist::kNoGate;
-  std::uint32_t fanin_index = 0;
-};
-
-/// Per-driver ordered load-term lists (structural: rebuild whenever the
-/// analyzer re-binds; sizing changes never alter the term lists).
-class LoadTerms {
- public:
-  void rebuild(const sta::TimingContext& ctx);
-
-  /// Driver @p d's load with the speculation's candidate cells substituted:
-  /// the full sum re-folded in update() order (see the header comment).
-  /// @p cand maps GateId -> candidate cell (nullptr = currently bound cell).
-  [[nodiscard]] double speculative_load(const sta::TimingContext& ctx, netlist::GateId d,
-                                        std::span<const liberty::Cell* const> cand) const;
-
- private:
-  std::vector<std::vector<LoadTerm>> terms_;
-};
 
 /// The snapshot overlay of one exact what-if: dirty flags plus the
 /// recomputed load/slew/arc values for the resize set's fanout cone. Dense
@@ -74,11 +46,20 @@ struct ConeSnapshot {
   std::vector<double> slew;       ///< valid where dirty
   std::vector<double> arc_delay;  ///< dense, ctx.arc_offset() indexing, valid where dirty
   std::vector<double> arc_sigma;
+  /// Dirty gates per wavefront level — populated only when propagate() ran
+  /// with threads > 1 (empty otherwise). Engine halves replaying the same
+  /// dirty set in parallel reuse it to skip clean levels without another
+  /// O(nodes) count.
+  std::vector<std::uint32_t> dirty_per_level;
 
   /// Recomputes the cone for @p resizes against @p ctx's current snapshot,
-  /// mirroring update()'s load fold and slew/delay/sigma loop bitwise.
-  void propagate(const sta::TimingContext& ctx, const LoadTerms& terms,
-                 std::span<const Resize> resizes);
+  /// mirroring update()'s load fold and slew/delay/sigma loop bitwise. With
+  /// @p threads > 1 the dirty replay runs as a levelized wavefront (same
+  /// decomposition as the parallel update(); bitwise-identical results for
+  /// any value). Callers already running inside a pool worker — a wave of
+  /// speculations scoring concurrently — execute inline regardless.
+  void propagate(const sta::TimingContext& ctx, std::span<const Resize> resizes,
+                 std::size_t threads = 1);
 };
 
 }  // namespace statsizer::timing::detail

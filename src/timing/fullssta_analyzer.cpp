@@ -53,7 +53,6 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
 
   const Summary& analyze(sta::TimingContext& ctx) override {
     ctx_ = &ctx;
-    load_terms_.rebuild(ctx);
     ssta::FullSstaOptions opt = options_;
     opt.keep_node_pdfs = true;
     ssta::FullSstaResult r = ssta::run_fullssta(ctx, opt);
@@ -110,26 +109,30 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
 
    private:
     /// The incremental re-propagation: the shared snapshot half, then the
-    /// pdf half mirroring run_fullssta()'s loop over the dirty set.
+    /// pdf half mirroring run_fullssta()'s loop over the dirty set — both
+    /// wavefront-parallel with FullSstaOptions::threads (a speculation
+    /// scored from inside a pool worker runs inline; the big win is the
+    /// atomic multi-resize confirmations scored on the caller's thread).
     void propagate() {
       const auto& nl = ctx_.netlist();
       const std::size_t n = nl.node_count();
       const std::size_t samples = owner_.options_.samples_per_pdf;
       const double span_sigmas = owner_.options_.span_sigmas;
+      const std::size_t threads = owner_.options_.threads;
 
-      cone_.propagate(ctx_, owner_.load_terms_, resizes_);
+      cone_.propagate(ctx_, resizes_, threads);
 
       ov_arrival_.assign(n, DiscretePdf());
       ov_moments_.assign(n, sta::NodeMoments{});
       const auto arrival_of = [&](GateId id) -> const DiscretePdf& {
         return cone_.dirty[id] ? ov_arrival_[id] : owner_.base_arrival_[id];
       };
-      for (const GateId id : ctx_.topo_order()) {
-        if (!cone_.dirty[id]) continue;
+      const auto replay_gate = [&](GateId id) {
+        if (!cone_.dirty[id]) return;
         const auto& g = nl.gate(id);
         if (g.fanins.empty()) {  // unreachable for dirty nodes; mirror anyway
           ov_arrival_[id] = DiscretePdf::point(0.0);
-          continue;
+          return;
         }
         const std::uint32_t off = ctx_.arc_offset(id);
         DiscretePdf acc;
@@ -141,6 +144,20 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
         }
         ov_moments_[id] = sta::NodeMoments{acc.mean(), acc.stddev()};
         ov_arrival_[id] = std::move(acc);
+      };
+      if (threads == 1) {
+        for (const GateId id : ctx_.topo_order()) replay_gate(id);
+      } else {
+        // Same wavefront as the snapshot half, reusing its per-level dirty
+        // counts (the cone just ran with the same threads value): clean
+        // levels skip, thin ones run serially, pdf-heavy waves get per-gate
+        // chunks.
+        const netlist::Levelization& lv = ctx_.levelization();
+        const std::size_t cutoff = ctx_.options().min_level_width_for_parallel;
+        for (std::size_t l = 0; l < lv.level_count(); ++l) {
+          sta::run_wavefront_level(lv.level(l), cone_.dirty_per_level[l], cutoff, 1,
+                                   threads, replay_gate);
+        }
       }
 
       // RV_O: statistical max over all primary outputs, in output order.
@@ -187,7 +204,6 @@ class FullSstaAnalyzer final : public BoundAnalyzer {
 
   ssta::FullSstaOptions options_;
   std::vector<DiscretePdf> base_arrival_;
-  LoadTerms load_terms_;
 };
 
 }  // namespace

@@ -1,5 +1,8 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
+#include "circuits/generators.h"
 #include "netlist/netlist.h"
 #include "netlist/topo.h"
 
@@ -179,6 +182,112 @@ TEST(Topo, EmptyNetlist) {
   EXPECT_TRUE(is_acyclic(nl));
   EXPECT_EQ(depth(nl), 0u);
   EXPECT_TRUE(topological_order(nl).empty());
+}
+
+// -- Levelization: the wavefront decomposition's structural invariants -------
+
+std::vector<Netlist> levelization_corpus() {
+  std::vector<Netlist> corpus;
+  corpus.push_back(small_and_or());
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    circuits::RandomDagOptions opt;
+    opt.n_inputs = 6;
+    opt.n_gates = 80;
+    opt.n_outputs = 5;
+    opt.seed = seed;
+    corpus.push_back(circuits::make_random_dag(opt));
+  }
+  return corpus;
+}
+
+TEST(Levelization, EveryEdgeGoesStrictlyLevelUp) {
+  // The property the wavefront kernels rest on: a gate's fanins all live in
+  // strictly lower levels, so gates inside one level never feed each other.
+  for (const Netlist& nl : levelization_corpus()) {
+    SCOPED_TRACE(nl.name());
+    const Levelization lv = levelize(nl);
+    for (GateId id = 0; id < nl.node_count(); ++id) {
+      for (GateId f : nl.gate(id).fanins) {
+        EXPECT_LT(lv.level_of[f], lv.level_of[id]);
+      }
+    }
+    // And level_of matches the levels() definition exactly.
+    EXPECT_EQ(lv.level_of, levels(nl));
+  }
+}
+
+TEST(Levelization, LevelBucketsPartitionTheNodeSet) {
+  for (const Netlist& nl : levelization_corpus()) {
+    SCOPED_TRACE(nl.name());
+    const Levelization lv = levelize(nl);
+    ASSERT_EQ(lv.level_offset.size(), lv.level_count() + 1);
+    EXPECT_EQ(lv.level_offset.front(), 0u);
+    EXPECT_EQ(lv.level_offset.back(), nl.node_count());
+    std::vector<std::size_t> seen(nl.node_count(), 0);
+    for (std::size_t l = 0; l < lv.level_count(); ++l) {
+      EXPECT_FALSE(lv.level(l).empty()) << "empty level " << l;
+      for (const GateId id : lv.level(l)) {
+        EXPECT_EQ(lv.level_of[id], l);
+        ++seen[id];
+      }
+    }
+    // Every node appears in exactly one bucket.
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](std::size_t c) { return c == 1; }));
+  }
+}
+
+TEST(Levelization, OrderByLevelIsStablePartitionOfTopoOrder) {
+  for (const Netlist& nl : levelization_corpus()) {
+    SCOPED_TRACE(nl.name());
+    const Levelization lv = levelize(nl);
+    const std::vector<GateId> topo = topological_order(nl);
+    ASSERT_EQ(lv.order_by_level.size(), topo.size());
+    // Permutation of the topo order...
+    std::vector<GateId> a = lv.order_by_level;
+    std::vector<GateId> b = topo;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    // ...and stable: each bucket is the topo order filtered to that level.
+    std::size_t cursor = 0;
+    for (std::size_t l = 0; l < lv.level_count(); ++l) {
+      for (const GateId id : topo) {
+        if (lv.level_of[id] == l) EXPECT_EQ(lv.order_by_level[cursor++], id);
+      }
+    }
+  }
+}
+
+TEST(Levelization, CacheInvalidatedByGateInsertionNotBySizing) {
+  Netlist nl = small_and_or();
+  const Levelization lv = levelize(nl);
+  EXPECT_TRUE(lv.valid_for(nl));
+
+  // Sizing is not structure: the levelization stays valid.
+  nl.gate(nl.find("g1")).size_index = 3;
+  EXPECT_TRUE(lv.valid_for(nl));
+
+  // Gate insertion is: the cached levelization must fail validation...
+  const GateId inv = nl.add_gate(GateFunc::kInv, {nl.find("g2")}, "late_inv");
+  EXPECT_FALSE(lv.valid_for(nl));
+  // ...and a rebuild covers the new node and is valid again.
+  const Levelization fresh = levelize(nl);
+  EXPECT_TRUE(fresh.valid_for(nl));
+  EXPECT_EQ(fresh.level_of[inv], fresh.level_of[nl.find("g2")] + 1);
+
+  // Rewire and output declaration are structural edits too.
+  const Levelization before_rewire = levelize(nl);
+  nl.rewire(inv, GateFunc::kInv, std::vector<GateId>{nl.find("g1")});
+  EXPECT_FALSE(before_rewire.valid_for(nl));
+  const Levelization before_output = levelize(nl);
+  nl.add_output("z", inv);
+  EXPECT_FALSE(before_output.valid_for(nl));
+}
+
+TEST(Levelization, EmptyNetlist) {
+  const Levelization lv = levelize(Netlist{});
+  EXPECT_EQ(lv.level_count(), 0u);
+  EXPECT_TRUE(lv.order_by_level.empty());
 }
 
 }  // namespace
