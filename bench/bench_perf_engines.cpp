@@ -414,11 +414,31 @@ BENCHMARK_CAPTURE(BM_FullSstaThreads, c880, std::string("c880"))
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+// Scaled-fabric wavefront benches: mesh8 (12.8k gates, median level width
+// 140) keeps every level above the parallel cutoff, so these measure the
+// kernels at the width they were built for — unlike c880, where most levels
+// fall back to the serial path.
+BENCHMARK_CAPTURE(BM_UpdateThreads, mesh8, std::string("mesh8"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullSstaThreads, mesh8, std::string("mesh8"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // Custom main: `--json <path>` is shorthand for google-benchmark's
 // --benchmark_out=<path> --benchmark_out_format=json, so callers (and
 // scripts/bench_snapshot.sh) get per-benchmark wall/CPU times as JSON
-// without memorizing the long flags.
+// without memorizing the long flags. `--context key=value` (repeatable)
+// stamps the pair into the JSON header via benchmark::AddCustomContext —
+// bench_snapshot.sh uses it to record the git SHA and workload.
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc) + 1);
@@ -426,6 +446,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
       args.push_back("--benchmark_out_format=json");
+      ++i;
+    } else if (std::strcmp(argv[i], "--context") == 0 && i + 1 < argc) {
+      const std::string pair = argv[i + 1];
+      const std::size_t eq = pair.find('=');
+      benchmark::AddCustomContext(pair.substr(0, eq),
+                                  eq == std::string::npos ? "" : pair.substr(eq + 1));
       ++i;
     } else {
       args.push_back(argv[i]);

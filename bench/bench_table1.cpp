@@ -12,7 +12,9 @@
 //                 scoring inside each run fans across hardware threads
 //                 instead. Either way the table values are identical — the
 //                 sizer is thread-count-invariant.
-//   circuits      subset by name (default: all 13)
+//   circuits      subset by name (default: the 13 paper rows). The scaled
+//                 fabrics (mul32/mul64/pipe64/mesh8) are also accepted; they
+//                 have no paper reference, so those columns print "-".
 //
 // Exit status is nonzero when any circuit name is unknown or any run fails,
 // so automation (scripts/check.sh --table1-smoke) can trust it.
@@ -20,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,7 +41,9 @@ struct RowResult {
   std::string error;  ///< non-empty when the run failed
 };
 
-RowResult run_circuit(const std::string& name, const circuits::Table1Reference& ref,
+/// @p ref is null for the scaled fabrics (circuits::scaled_workload_names),
+/// which have no paper row — their reference columns print "-".
+RowResult run_circuit(const std::string& name, const circuits::Table1Reference* ref,
                       std::size_t shards) {
   RowResult out;
   core::FlowOptions flow_options;
@@ -62,17 +67,22 @@ RowResult run_circuit(const std::string& name, const circuits::Table1Reference& 
       std::to_string(flow.netlist().logic_gate_count()),
       std::to_string(netlist::depth(flow.netlist())),
       util::fmt(original.sigma_over_mu(), 4),
-      util::fmt(ref.paper_sigma_over_mu, 3),
+      ref ? util::fmt(ref->paper_sigma_over_mu, 3) : "-",
   };
   // Size-adaptive effort: the >1500-gate circuits get a bounded iteration
   // budget so the full table stays within a practical wall-clock (the
-  // trends survive; see EXPERIMENTS.md).
+  // trends survive; see EXPERIMENTS.md), and the 10k+-gate scaled fabrics a
+  // tighter one still.
   opt::StatisticalSizerOptions overrides;
   overrides.threads = sizer_threads;
   if (flow.netlist().logic_gate_count() > 1500) {
     overrides.max_iterations = 40;
     overrides.exact_fallback_gate_limit = 10;
     overrides.max_global_sweeps = 2;
+  }
+  if (flow.netlist().logic_gate_count() > 8000) {
+    overrides.max_iterations = 10;
+    overrides.max_global_sweeps = 1;
   }
   for (const double lambda : {3.0, 9.0}) {
     flow.timing().mutable_netlist().set_sizes(baseline_sizes);
@@ -81,9 +91,10 @@ RowResult run_circuit(const std::string& name, const circuits::Table1Reference& 
     const core::OptimizationRecord rec = flow.optimize(lambda, &overrides);
     out.row.push_back(util::fmt_pct(rec.mean_change, 1));
     out.row.push_back(util::fmt_pct(rec.sigma_change, 0));
-    out.row.push_back(util::fmt_pct(lambda == 3.0 ? ref.paper_sigma_reduction_l3
-                                                  : ref.paper_sigma_reduction_l9,
-                                    0));
+    out.row.push_back(ref ? util::fmt_pct(lambda == 3.0 ? ref->paper_sigma_reduction_l3
+                                                        : ref->paper_sigma_reduction_l9,
+                                          0)
+                          : "-");
     out.row.push_back(util::fmt_pct(rec.area_change, 0));
     out.row.push_back(util::fmt(rec.runtime_seconds, 2));
   }
@@ -119,18 +130,22 @@ int main(int argc, char** argv) {
   if (selected.empty()) selected = circuits::table1_names();
 
   // Resolve and validate the workload list up front: an unknown name must
-  // fail the whole invocation, not silently shrink the table.
-  std::vector<std::pair<std::string, circuits::Table1Reference>> work;
+  // fail the whole invocation, not silently shrink the table. Scaled fabrics
+  // (mul32/mul64/pipe64/mesh8) are valid workloads without a paper row.
+  const auto& scaled = circuits::scaled_workload_names();
+  std::vector<std::pair<std::string, std::optional<circuits::Table1Reference>>> work;
   bool bad_name = false;
   for (const std::string& name : selected) {
     const auto ref = circuits::table1_reference(name);
-    if (!ref.has_value()) {
+    const bool is_scaled = std::find(scaled.begin(), scaled.end(), name) != scaled.end();
+    if (!ref.has_value() && !is_scaled) {
       std::fprintf(stderr, "unknown circuit '%s'\n", name.c_str());
       bad_name = true;
       continue;
     }
-    if (quick && ref->paper_gates > 1000) continue;
-    work.emplace_back(name, *ref);
+    // --quick keeps the CI-sized circuits only; every scaled fabric is 10k+.
+    if (quick && (is_scaled || ref->paper_gates > 1000)) continue;
+    work.emplace_back(name, ref);
   }
   if (bad_name) return 1;
 
@@ -145,7 +160,9 @@ int main(int argc, char** argv) {
                      [&](std::size_t begin, std::size_t end, std::size_t) {
                        for (std::size_t i = begin; i < end; ++i) {
                          try {
-                           results[i] = run_circuit(work[i].first, work[i].second, shards);
+                           results[i] = run_circuit(
+                               work[i].first,
+                               work[i].second ? &*work[i].second : nullptr, shards);
                          } catch (const std::exception& e) {
                            results[i].error = e.what();
                          }

@@ -1,0 +1,121 @@
+// The katana-style ingestion flow as a command-line tool: cell library +
+// netlist (+ optional SDC constraints) -> timing graph -> STA -> statistical
+// sizing -> sized write-back.
+//
+//   ingest <netlist.(bench|v)> [--sdc file.sdc] [--optimize lambda]
+//          [--out sized.v] [--threads n]
+//
+// The netlist format is picked by extension: .bench (ISCAS, mapped with the
+// default mapper) or .v (structural Verilog, cell bindings adopted as-is).
+// Exits non-zero with the parser's line-numbered message on any malformed
+// input — scripts/check.sh --parser-smoke drives this binary over a corpus
+// of malformed files and expects exactly that.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/flow.h"
+#include "netlist/topo.h"
+#include "sta/dsta.h"
+
+using namespace statsizer;
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <netlist.(bench|v)> [--sdc file.sdc] [--optimize lambda] "
+               "[--out sized.v] [--threads n]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string netlist_path = argv[1];
+  std::string sdc_path;
+  std::string out_path;
+  double lambda = 0.0;
+  bool optimize = false;
+  std::size_t threads = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sdc" && i + 1 < argc) {
+      sdc_path = argv[++i];
+    } else if (arg == "--optimize" && i + 1 < argc) {
+      lambda = std::atof(argv[++i]);
+      optimize = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  core::FlowOptions options;
+  options.timing.threads = threads;
+  options.sizer_threads = threads;
+  core::Flow flow(options);
+
+  // 1. Ingest: library is the synthetic 90nm; netlist by extension.
+  Status load = ends_with(netlist_path, ".v") ? flow.load_verilog_file(netlist_path)
+              : ends_with(netlist_path, ".bench")
+                  ? flow.load_bench_file(netlist_path)
+                  : Status::error("unknown netlist extension (want .bench or .v): " +
+                                  netlist_path);
+  if (!load.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", netlist_path.c_str(), load.message().c_str());
+    return 1;
+  }
+  const auto& nl = flow.netlist();
+  std::printf("loaded %s: %zu inputs, %zu outputs, %zu gates, depth %u\n",
+              nl.name().c_str(), nl.inputs().size(), nl.outputs().size(),
+              nl.logic_gate_count(), netlist::depth(nl));
+
+  // 2. Constraints (optional).
+  if (!sdc_path.empty()) {
+    if (const Status s = flow.apply_sdc_file(sdc_path); !s.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", sdc_path.c_str(), s.message().c_str());
+      return 1;
+    }
+    std::printf("applied constraints from %s\n", sdc_path.c_str());
+  }
+
+  // 3. STA + statistical analysis of the ingested state.
+  const sta::DstaResult dsta = sta::run_dsta(flow.timing());
+  const opt::CircuitStats before = flow.analyze();
+  std::printf("ingested: arrival %.1f ps, wns %.1f ps | mean %.1f ps, sigma %.1f ps, "
+              "area %.1f um2\n",
+              dsta.max_arrival_ps, dsta.wns_ps, before.mean_ps, before.sigma_ps,
+              before.area_um2);
+
+  // 4. Statistical sizing (optional).
+  if (optimize) {
+    (void)flow.run_baseline();
+    const core::OptimizationRecord rec = flow.optimize(lambda);
+    std::printf("optimized (lambda=%.1f): mean %+.1f%%, sigma %+.1f%%, area %+.1f%% "
+                "(%zu resizes)\n",
+                lambda, 100.0 * rec.mean_change, 100.0 * rec.sigma_change,
+                100.0 * rec.area_change, rec.resizes);
+  }
+
+  // 5. Write-back (optional): the sized netlist as structural Verilog.
+  if (!out_path.empty()) {
+    if (const Status s = flow.write_verilog_file(out_path); !s.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", out_path.c_str(), s.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -11,7 +11,9 @@
 # the run context) is the repo's perf trajectory — commit a snapshot per perf
 # PR so later sessions can diff kernels against it. Numbers are only
 # comparable between snapshots taken on the same host; the committed file
-# also records the host context for exactly that reason.
+# also records the host context for exactly that reason, plus the git SHA
+# and the workload set (--context entries in the JSON header) so a snapshot
+# is traceable to the exact code and circuits that produced it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,11 +22,24 @@ OUT="${1:-BENCH_update_levelized.json}"
 FILTER="${2:-BM_TimingUpdate|BM_UpdateThreads|BM_FullSstaThreads|BM_Fullssta/c880}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
+GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then
+  GIT_SHA="${GIT_SHA}-dirty"
+fi
+
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}" --target bench_perf_engines >/dev/null
 
+# The workload names embedded in the filtered benchmark set (BM_Foo/<name>).
+WORKLOADS="$(./build/bench_perf_engines --benchmark_list_tests \
+               --benchmark_filter="${FILTER}" 2>/dev/null |
+             sed -n 's|^BM_[^/]*/\([A-Za-z0-9_]*\).*|\1|p' | sort -u |
+             paste -sd, - || echo unknown)"
+
 ./build/bench_perf_engines --json "${OUT}" \
+  --context "git_sha=${GIT_SHA}" \
+  --context "workloads=${WORKLOADS}" \
   --benchmark_filter="${FILTER}" \
   --benchmark_min_time=0.2
 
-echo "bench_snapshot.sh: wrote ${OUT}"
+echo "bench_snapshot.sh: wrote ${OUT} (git_sha=${GIT_SHA}, workloads=${WORKLOADS})"

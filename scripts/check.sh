@@ -7,6 +7,10 @@
 #   scripts/check.sh --table1-smoke  # additionally run
 #                                    # bench_table1 --quick --threads 2 as a
 #                                    # post-ctest end-to-end smoke check
+#   scripts/check.sh --parser-smoke  # additionally drive example_ingest over
+#                                    # the malformed corpus: every file must
+#                                    # fail with a loud error (exit 1), never
+#                                    # crash or parse silently
 #
 # Flags compose. Exits non-zero on the first failing step.
 set -euo pipefail
@@ -25,12 +29,14 @@ run_suite() {
 
 ASAN=0
 SMOKE=0
+PARSER=0
 for arg in "$@"; do
   case "${arg}" in
     --asan) ASAN=1 ;;
     --table1-smoke) SMOKE=1 ;;
+    --parser-smoke) PARSER=1 ;;
     *)
-      echo "usage: scripts/check.sh [--asan] [--table1-smoke]" >&2
+      echo "usage: scripts/check.sh [--asan] [--table1-smoke] [--parser-smoke]" >&2
       exit 2
       ;;
   esac
@@ -66,6 +72,31 @@ if [[ "${SMOKE}" == 1 ]]; then
   # so this catches whole-flow breakage the unit suites can miss.
   echo "check.sh: table1 smoke (--quick --threads 2)"
   ./build/bench_table1 --quick --threads 2 >/dev/null
+fi
+
+if [[ "${PARSER}" == 1 ]]; then
+  # Malformed-input sweep through the real ingestion entry point. Every
+  # corpus file must make example_ingest exit with status 1 (a Status error
+  # printed to stderr) — exit 0 means a malformed file parsed silently,
+  # anything >= 128 means the parser crashed. SDC files ride on a valid
+  # netlist so the failure is attributable to the constraints.
+  echo "check.sh: parser smoke (tests/corpus/malformed)"
+  VALID_BENCH=tests/corpus/valid_small.bench
+  for f in tests/corpus/malformed/*; do
+    case "${f}" in
+      *.sdc) set +e; ./build/example_ingest "${VALID_BENCH}" --sdc "${f}" >/dev/null 2>&1 ;;
+      *)     set +e; ./build/example_ingest "${f}" >/dev/null 2>&1 ;;
+    esac
+    rc=$?
+    set -e
+    if [[ "${rc}" -ne 1 ]]; then
+      echo "check.sh: parser smoke FAILED: ${f} exited ${rc} (want 1)" >&2
+      exit 1
+    fi
+  done
+  # And the valid pairing netlist must still go through cleanly.
+  ./build/example_ingest "${VALID_BENCH}" >/dev/null
+  echo "check.sh: parser smoke ok ($(ls tests/corpus/malformed | wc -l) files)"
 fi
 
 echo "check.sh: all green"

@@ -6,6 +6,7 @@
 #include <functional>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace statsizer::bench_format {
@@ -58,6 +59,7 @@ StatusOr<GateFunc> func_from_name(const std::string& raw, int line) {
 StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
   std::vector<std::string> input_names;
   std::vector<std::pair<std::string, int>> output_names;  // name, line
+  std::unordered_set<std::string> seen_outputs;
   std::unordered_map<std::string, GateDef> defs;
   std::vector<std::string> def_order;
 
@@ -72,13 +74,28 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
     }
     if (line.empty()) continue;
 
+    // A port declaration is INPUT(name) / OUTPUT(name); a gate assignment has
+    // an '='. Checking the prefix alone would misparse gate targets that
+    // merely *start* with INPUT/OUTPUT (e.g. "INPUT_REG_3 = AND(a, b)"), so
+    // the port branch requires the absence of '=' AND the keyword to be
+    // exactly INPUT/OUTPUT up to the '('.
     const std::string uline = upper(line);
-    if (uline.rfind("INPUT", 0) == 0 || uline.rfind("OUTPUT", 0) == 0) {
+    const bool port_prefix = uline.rfind("INPUT", 0) == 0 || uline.rfind("OUTPUT", 0) == 0;
+    if (port_prefix && line.find('=') == std::string::npos) {
       const bool is_input = uline.rfind("INPUT", 0) == 0;
       const auto open = line.find('(');
       const auto close = line.rfind(')');
       if (open == std::string::npos || close == std::string::npos || close <= open) {
         return Status::error("line " + std::to_string(line_no) + ": malformed port: " + line);
+      }
+      const std::string keyword = trim(std::string_view(uline).substr(0, open));
+      if (keyword != "INPUT" && keyword != "OUTPUT") {
+        return Status::error("line " + std::to_string(line_no) +
+                             ": expected INPUT(...) or OUTPUT(...), got: " + line);
+      }
+      if (!trim(std::string_view(line).substr(close + 1)).empty()) {
+        return Status::error("line " + std::to_string(line_no) +
+                             ": trailing text after port declaration: " + line);
       }
       const std::string port = trim(std::string_view(line).substr(open + 1, close - open - 1));
       if (port.empty()) {
@@ -87,6 +104,10 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
       if (is_input) {
         input_names.push_back(port);
       } else {
+        if (!seen_outputs.insert(port).second) {
+          return Status::error("line " + std::to_string(line_no) + ": output '" + port +
+                               "' declared twice");
+        }
         output_names.emplace_back(port, line_no);
       }
       continue;
@@ -103,20 +124,31 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
     if (open == std::string::npos || close == std::string::npos || close <= open) {
       return Status::error("line " + std::to_string(line_no) + ": malformed gate: " + line);
     }
+    if (!trim(std::string_view(rhs).substr(close + 1)).empty()) {
+      return Status::error("line " + std::to_string(line_no) +
+                           ": trailing text after gate definition: " + line);
+    }
     auto func = func_from_name(trim(std::string_view(rhs).substr(0, open)), line_no);
     if (!func.ok()) return func.status();
 
     GateDef def;
     def.func = *func;
     def.line = line_no;
-    std::string args(rhs.substr(open + 1, close - open - 1));
-    std::size_t pos = 0;
-    while (pos < args.size()) {
-      auto comma = args.find(',', pos);
-      if (comma == std::string::npos) comma = args.size();
-      const std::string arg = trim(std::string_view(args).substr(pos, comma - pos));
-      if (!arg.empty()) def.fanins.push_back(arg);
-      pos = comma + 1;
+    const std::string args(rhs.substr(open + 1, close - open - 1));
+    if (!trim(args).empty()) {
+      std::size_t pos = 0;
+      for (;;) {
+        auto comma = args.find(',', pos);
+        if (comma == std::string::npos) comma = args.size();
+        const std::string arg = trim(std::string_view(args).substr(pos, comma - pos));
+        if (arg.empty()) {
+          return Status::error("line " + std::to_string(line_no) +
+                               ": empty fanin argument (stray comma?): " + line);
+        }
+        def.fanins.push_back(arg);
+        if (comma == args.size()) break;
+        pos = comma + 1;
+      }
     }
     if (def.fanins.empty()) {
       return Status::error("line " + std::to_string(line_no) + ": gate with no fanins");

@@ -1,0 +1,53 @@
+// Reader for the SDC (Synopsys Design Constraints) subset the timing
+// engines consume:
+//
+//   # comment
+//   create_clock -period 800 -name clk
+//   set_input_delay -clock clk 120 [get_ports {a b}]
+//   set_input_delay -clock clk 60 [all_inputs]
+//   set_output_delay -clock clk 50 [get_ports y]
+//
+// Times are in picoseconds (the library's unit convention). Later commands
+// override earlier ones per port, so the idiomatic "[all_inputs] first, then
+// specific ports" layering works. Unknown commands, flags, or malformed
+// object lists are loud errors with line numbers; matching port names
+// against a netlist happens in core::Flow::apply_sdc, which also reports
+// unknown ports loudly.
+//
+// The result is a plain data struct: bench_format stays below the sta layer,
+// so conversion to sta::TimingConstraints lives in core/flow.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace statsizer::bench_format {
+
+/// One set_input_delay / set_output_delay statement's effect.
+struct SdcPortDelay {
+  /// Named ports; empty when @p all_ports is set.
+  std::vector<std::string> ports;
+  /// [all_inputs] / [all_outputs].
+  bool all_ports = false;
+  double delay_ps = 0.0;
+};
+
+/// Parsed SDC contents, command order preserved.
+struct Sdc {
+  std::optional<double> clock_period_ps;
+  std::string clock_name;
+  std::vector<SdcPortDelay> input_delays;
+  std::vector<SdcPortDelay> output_delays;
+};
+
+/// Parses SDC text.
+[[nodiscard]] StatusOr<Sdc> read_sdc(std::string_view text);
+
+/// Reads an SDC file from disk.
+[[nodiscard]] StatusOr<Sdc> read_sdc_file(const std::string& path);
+
+}  // namespace statsizer::bench_format

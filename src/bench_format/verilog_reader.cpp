@@ -1,0 +1,513 @@
+#include "bench_format/verilog_reader.h"
+
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace statsizer::bench_format {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+Status err(int line, const std::string& what) {
+  return Status::error("line " + std::to_string(line) + ": " + what);
+}
+
+/// Character-level lexer over comment-stripped text. Identifiers are liberal
+/// (any run outside whitespace and punctuation) so flattened bus-bit names
+/// survive; `\escaped ` identifiers are also accepted (backslash dropped,
+/// terminated by whitespace) per the Verilog LRM.
+class Lexer {
+ public:
+  explicit Lexer(std::string text) : text_(std::move(text)) {}
+
+  struct Token {
+    enum class Kind { kId, kPunct, kEnd } kind = Kind::kEnd;
+    std::string value;  // identifier text, or the punctuation character
+    int line = 0;
+  };
+
+  Token next() {
+    skip_space();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) return t;
+    const char c = text_[pos_];
+    if (is_punct(c)) {
+      t.kind = Token::Kind::kPunct;
+      t.value = std::string(1, c);
+      ++pos_;
+      return t;
+    }
+    t.kind = Token::Kind::kId;
+    if (c == '\\') {
+      ++pos_;  // escaped identifier: everything up to whitespace, '\' dropped
+      while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        t.value += text_[pos_++];
+      }
+      return t;
+    }
+    while (pos_ < text_.size()) {
+      const char d = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(d)) || is_punct(d)) break;
+      t.value += d;
+      ++pos_;
+    }
+    return t;
+  }
+
+ private:
+  static bool is_punct(char c) {
+    return c == '(' || c == ')' || c == ',' || c == ';' || c == '.' || c == '=';
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Replaces `//` and `/* */` comments with spaces, preserving newlines so
+/// token line numbers stay accurate.
+std::string strip_comments(std::string_view text) {
+  std::string out(text);
+  std::size_t i = 0;
+  while (i + 1 < out.size()) {
+    if (out[i] == '/' && out[i + 1] == '/') {
+      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
+    } else if (out[i] == '/' && out[i + 1] == '*') {
+      out[i] = out[i + 1] = ' ';
+      i += 2;
+      while (i + 1 < out.size() && !(out[i] == '*' && out[i + 1] == '/')) {
+        if (out[i] != '\n') out[i] = ' ';
+        ++i;
+      }
+      if (i + 1 >= out.size()) return out;  // unterminated; caught as junk later
+      out[i] = out[i + 1] = ' ';
+      i += 2;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+struct Connection {
+  std::string pin;
+  std::string net;
+  int line = 0;
+};
+
+struct Instance {
+  std::string cell_name;
+  std::string inst_name;
+  std::vector<Connection> connections;
+  int line = 0;
+};
+
+struct Assign {
+  std::string lhs;
+  std::string rhs;
+  int line = 0;
+};
+
+}  // namespace
+
+StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& lib) {
+  Lexer lex(strip_comments(text));
+  using Token = Lexer::Token;
+
+  const auto expect_punct = [&](const char* what) -> StatusOr<Token> {
+    Token t = lex.next();
+    if (t.kind != Token::Kind::kPunct || t.value != what) {
+      return err(t.line, std::string("expected '") + what + "', got '" +
+                             (t.kind == Token::Kind::kEnd ? "<eof>" : t.value) + "'");
+    }
+    return t;
+  };
+  const auto expect_id = [&](const char* what) -> StatusOr<Token> {
+    Token t = lex.next();
+    if (t.kind != Token::Kind::kId) {
+      return err(t.line, std::string("expected ") + what + ", got '" +
+                             (t.kind == Token::Kind::kEnd ? "<eof>" : t.value) + "'");
+    }
+    return t;
+  };
+
+  // ---- module header -------------------------------------------------------
+  auto kw = expect_id("'module'");
+  if (!kw.ok()) return kw.status();
+  if (kw->value != "module") return err(kw->line, "expected 'module', got '" + kw->value + "'");
+  auto mod_name = expect_id("module name");
+  if (!mod_name.ok()) return mod_name.status();
+
+  std::vector<std::string> header_ports;
+  Token t = lex.next();
+  if (t.kind == Token::Kind::kPunct && t.value == "(") {
+    for (;;) {
+      t = lex.next();
+      if (t.kind == Token::Kind::kPunct && t.value == ")") break;
+      if (t.kind != Token::Kind::kId) return err(t.line, "expected port name in module header");
+      header_ports.push_back(t.value);
+      t = lex.next();
+      if (t.kind == Token::Kind::kPunct && t.value == ")") break;
+      if (t.kind != Token::Kind::kPunct || t.value != ",") {
+        return err(t.line, "expected ',' or ')' in module port list");
+      }
+    }
+    t = lex.next();
+  }
+  if (t.kind != Token::Kind::kPunct || t.value != ";") {
+    return err(t.line, "expected ';' after module header");
+  }
+
+  // ---- body ---------------------------------------------------------------
+  std::vector<std::pair<std::string, int>> input_decls;   // name, line
+  std::vector<std::pair<std::string, int>> output_decls;  // name, line
+  std::unordered_map<std::string, int> declared;          // any net -> decl line
+  std::vector<Instance> instances;
+  std::vector<Assign> assigns;
+
+  const auto declare = [&](const std::string& name, int line) -> Status {
+    if (!declared.emplace(name, line).second) {
+      return err(line, "net '" + name + "' declared twice (first at line " +
+                           std::to_string(declared[name]) + ")");
+    }
+    return Status();
+  };
+
+  bool saw_endmodule = false;
+  for (;;) {
+    t = lex.next();
+    if (t.kind == Token::Kind::kEnd) break;
+    if (t.kind != Token::Kind::kId) return err(t.line, "unexpected '" + t.value + "'");
+
+    if (t.value == "endmodule") {
+      saw_endmodule = true;
+      t = lex.next();
+      if (t.kind != Token::Kind::kEnd) return err(t.line, "text after 'endmodule'");
+      break;
+    }
+
+    if (t.value == "input" || t.value == "output" || t.value == "wire") {
+      const std::string kind = t.value;
+      for (;;) {
+        auto id = expect_id("net name");
+        if (!id.ok()) return id.status();
+        if (Status s = declare(id->value, id->line); !s.ok()) return s;
+        if (kind == "input") input_decls.emplace_back(id->value, id->line);
+        if (kind == "output") output_decls.emplace_back(id->value, id->line);
+        Token sep = lex.next();
+        if (sep.kind == Token::Kind::kPunct && sep.value == ";") break;
+        if (sep.kind != Token::Kind::kPunct || sep.value != ",") {
+          return err(sep.line, "expected ',' or ';' in " + kind + " declaration");
+        }
+      }
+      continue;
+    }
+
+    if (t.value == "assign") {
+      Assign a;
+      a.line = t.line;
+      auto lhs = expect_id("assign target");
+      if (!lhs.ok()) return lhs.status();
+      a.lhs = lhs->value;
+      if (auto p = expect_punct("="); !p.ok()) return p.status();
+      auto rhs = expect_id("assign source net");
+      if (!rhs.ok()) return rhs.status();
+      a.rhs = rhs->value;
+      if (auto p = expect_punct(";"); !p.ok()) return p.status();
+      assigns.push_back(std::move(a));
+      continue;
+    }
+
+    // Cell instantiation: <CELL> <inst> ( .PIN(net), ... );
+    Instance inst;
+    inst.cell_name = t.value;
+    inst.line = t.line;
+    auto inst_name = expect_id("instance name");
+    if (!inst_name.ok()) return inst_name.status();
+    inst.inst_name = inst_name->value;
+    if (auto p = expect_punct("("); !p.ok()) return p.status();
+    for (;;) {
+      Token dot = lex.next();
+      if (dot.kind == Token::Kind::kPunct && dot.value == ")") break;
+      if (dot.kind != Token::Kind::kPunct || dot.value != ".") {
+        return err(dot.line, "expected named connection '.PIN(net)' in instance '" +
+                                 inst.inst_name + "'");
+      }
+      Connection c;
+      auto pin = expect_id("pin name");
+      if (!pin.ok()) return pin.status();
+      c.pin = pin->value;
+      c.line = pin->line;
+      if (auto p = expect_punct("("); !p.ok()) return p.status();
+      auto net = expect_id("net name");
+      if (!net.ok()) return net.status();
+      c.net = net->value;
+      if (auto p = expect_punct(")"); !p.ok()) return p.status();
+      inst.connections.push_back(std::move(c));
+      Token sep = lex.next();
+      if (sep.kind == Token::Kind::kPunct && sep.value == ")") break;
+      if (sep.kind != Token::Kind::kPunct || sep.value != ",") {
+        return err(sep.line, "expected ',' or ')' in instance connection list");
+      }
+    }
+    if (auto p = expect_punct(";"); !p.ok()) return p.status();
+    instances.push_back(std::move(inst));
+  }
+  if (!saw_endmodule) return Status::error("missing 'endmodule'");
+
+  // Header ports and directional declarations must agree.
+  if (!header_ports.empty()) {
+    const std::unordered_set<std::string> in_header(header_ports.begin(), header_ports.end());
+    for (const auto& [name, line] : input_decls) {
+      if (!in_header.contains(name)) {
+        return err(line, "input '" + name + "' not listed in the module port list");
+      }
+    }
+    for (const auto& [name, line] : output_decls) {
+      if (!in_header.contains(name)) {
+        return err(line, "output '" + name + "' not listed in the module port list");
+      }
+    }
+  }
+
+  // ---- bind instances against the library ---------------------------------
+  struct GateDef {
+    const Instance* inst = nullptr;
+    const liberty::Cell* cell = nullptr;
+    std::uint32_t group_index = 0;
+    std::uint16_t size_index = 0;
+    std::vector<std::string> fanin_nets;  // in cell input-pin order
+  };
+  std::unordered_map<std::string, GateDef> driven;  // output net -> definition
+  std::vector<std::string> driven_order;
+
+  for (const Instance& inst : instances) {
+    const auto cell_index = lib.find_cell(inst.cell_name);
+    if (!cell_index.has_value()) {
+      return err(inst.line, "unknown cell '" + inst.cell_name + "' (library " +
+                                lib.name() + ")");
+    }
+    const liberty::Cell& cell = lib.cell(*cell_index);
+    const auto parsed = liberty::parse_cell_name(inst.cell_name);
+    const auto group_index = lib.find_group(parsed.base);
+    if (!group_index.has_value()) {
+      return err(inst.line, "cell '" + inst.cell_name + "' has no sizing group");
+    }
+    const liberty::CellGroup& group = lib.group(*group_index);
+    std::uint16_t size_index = 0;
+    bool size_found = false;
+    for (std::size_t s = 0; s < group.sizes().size(); ++s) {
+      if (group.sizes()[s] == *cell_index) {
+        size_index = static_cast<std::uint16_t>(s);
+        size_found = true;
+        break;
+      }
+    }
+    if (!size_found) {
+      return err(inst.line, "cell '" + inst.cell_name + "' missing from group '" +
+                                group.base_name() + "'");
+    }
+
+    GateDef def;
+    def.inst = &inst;
+    def.cell = &cell;
+    def.group_index = *group_index;
+    def.size_index = size_index;
+    const auto input_pins = cell.input_pins();
+    def.fanin_nets.assign(input_pins.size(), std::string());
+    std::vector<bool> pin_seen(input_pins.size(), false);
+    std::string out_net;
+
+    for (const Connection& c : inst.connections) {
+      if (!declared.contains(c.net)) {
+        return err(c.line, "net '" + c.net + "' is not declared");
+      }
+      if (c.pin == cell.output().name) {
+        if (!out_net.empty()) {
+          return err(c.line, "output pin '" + c.pin + "' connected twice on instance '" +
+                                 inst.inst_name + "'");
+        }
+        out_net = c.net;
+        continue;
+      }
+      bool matched = false;
+      for (std::size_t i = 0; i < input_pins.size(); ++i) {
+        if (input_pins[i]->name == c.pin) {
+          if (pin_seen[i]) {
+            return err(c.line, "pin '" + c.pin + "' connected twice on instance '" +
+                                   inst.inst_name + "'");
+          }
+          pin_seen[i] = true;
+          def.fanin_nets[i] = c.net;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return err(c.line, "cell '" + inst.cell_name + "' has no pin '" + c.pin + "'");
+      }
+    }
+    if (out_net.empty()) {
+      return err(inst.line, "instance '" + inst.inst_name + "' leaves output pin '" +
+                                cell.output().name + "' unconnected");
+    }
+    for (std::size_t i = 0; i < input_pins.size(); ++i) {
+      if (!pin_seen[i]) {
+        return err(inst.line, "instance '" + inst.inst_name + "' leaves input pin '" +
+                                  input_pins[i]->name + "' unconnected");
+      }
+    }
+    if (driven.contains(out_net)) {
+      return err(inst.line, "net '" + out_net + "' driven twice (also by instance '" +
+                                driven[out_net].inst->inst_name + "')");
+    }
+    driven.emplace(out_net, std::move(def));
+    driven_order.push_back(out_net);
+  }
+
+  // ---- classify assigns: constant drivers vs output aliases ---------------
+  // `assign x = 1'b0;` drives net x with a constant (kConst node);
+  // `assign y = net;` aliases output port y to an existing net.
+  const std::unordered_set<std::string> output_set = [&] {
+    std::unordered_set<std::string> s;
+    for (const auto& [name, _] : output_decls) s.insert(name);
+    return s;
+  }();
+  std::unordered_map<std::string, netlist::GateFunc> const_nets;
+  std::unordered_map<std::string, std::pair<std::string, int>> alias;  // port -> (net, line)
+  for (const Assign& a : assigns) {
+    if (!declared.contains(a.lhs)) return err(a.line, "net '" + a.lhs + "' is not declared");
+    if (driven.contains(a.lhs)) {
+      return err(a.line, "net '" + a.lhs + "' is driven both by an instance and an assign");
+    }
+    if (a.rhs == "1'b0" || a.rhs == "1'b1") {
+      if (alias.contains(a.lhs) ||
+          !const_nets.emplace(a.lhs, a.rhs == "1'b0" ? netlist::GateFunc::kConst0
+                                                     : netlist::GateFunc::kConst1)
+               .second) {
+        return err(a.line, "net '" + a.lhs + "' assigned twice");
+      }
+      continue;
+    }
+    if (!output_set.contains(a.lhs)) {
+      return err(a.line, "assign target '" + a.lhs +
+                             "' is not an output port (only constants and output aliasing "
+                             "are supported)");
+    }
+    if (!declared.contains(a.rhs)) return err(a.line, "net '" + a.rhs + "' is not declared");
+    if (const_nets.contains(a.lhs) ||
+        !alias.emplace(a.lhs, std::make_pair(a.rhs, a.line)).second) {
+      return err(a.line, "output '" + a.lhs + "' assigned twice");
+    }
+  }
+
+  // ---- build the netlist (depth-first resolution, like read_bench) --------
+  Netlist nl(mod_name->value);
+  std::unordered_map<std::string, GateId> ids;
+  for (const auto& [name, line] : input_decls) {
+    if (driven.contains(name) || const_nets.contains(name)) {
+      return err(line, "input '" + name + "' is also driven inside the module");
+    }
+    ids.emplace(name, nl.add_input(name));
+  }
+
+  std::unordered_map<std::string, int> state;  // 1 = on stack (cycle detection)
+  Status failure;
+  const std::function<GateId(const std::string&)> resolve =
+      [&](const std::string& net) -> GateId {
+    if (const auto it = ids.find(net); it != ids.end()) return it->second;
+    if (const auto it = const_nets.find(net); it != const_nets.end()) {
+      const GateId id = nl.add_gate(it->second, std::initializer_list<GateId>{}, net);
+      ids.emplace(net, id);
+      return id;
+    }
+    const auto def_it = driven.find(net);
+    if (def_it == driven.end()) {
+      if (failure.ok()) failure = Status::error("net '" + net + "' has no driver");
+      return netlist::kNoGate;
+    }
+    if (state[net] == 1) {
+      if (failure.ok()) {
+        failure = Status::error("combinational cycle through net '" + net + "'");
+      }
+      return netlist::kNoGate;
+    }
+    state[net] = 1;
+    GateDef& def = def_it->second;
+    std::vector<GateId> fanins;
+    fanins.reserve(def.fanin_nets.size());
+    for (const std::string& f : def.fanin_nets) {
+      const GateId fid = resolve(f);
+      if (fid == netlist::kNoGate) return netlist::kNoGate;
+      fanins.push_back(fid);
+    }
+    state[net] = 2;
+    const GateId id = nl.add_gate(lib.group(def.group_index).func(), fanins, net);
+    nl.gate(id).cell_group = def.group_index;
+    nl.gate(id).size_index = def.size_index;
+    ids.emplace(net, id);
+    return id;
+  };
+
+  // Constants first (in file order), then instance outputs: every declared
+  // driver is materialized even when unreachable from a primary output, so
+  // write_verilog(read_verilog(text)) reproduces the full structure.
+  for (const Assign& a : assigns) {
+    if (const_nets.contains(a.lhs)) {
+      resolve(a.lhs);
+      if (!failure.ok()) return failure;
+    }
+  }
+  for (const std::string& net : driven_order) {
+    resolve(net);
+    if (!failure.ok()) return failure;
+  }
+
+  // ---- primary outputs: direct nets or assign-aliases ---------------------
+  for (const auto& [name, line] : output_decls) {
+    const auto alias_it = alias.find(name);
+    const std::string& net = alias_it == alias.end() ? name : alias_it->second.first;
+    const int at = alias_it == alias.end() ? line : alias_it->second.second;
+    const GateId id = resolve(net);
+    if (!failure.ok()) return failure;
+    if (id == netlist::kNoGate) {
+      return err(at, "output '" + name + "' has no driver");
+    }
+    nl.add_output(name, id);
+  }
+
+  if (const Status s = nl.check(); !s.ok()) return s;
+  return nl;
+}
+
+StatusOr<Netlist> read_verilog_file(const std::string& path, const liberty::Library& lib) {
+  std::ifstream file(path);
+  if (!file) return Status::error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return read_verilog(buffer.str(), lib);
+}
+
+}  // namespace statsizer::bench_format

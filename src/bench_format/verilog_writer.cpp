@@ -1,0 +1,163 @@
+#include "bench_format/verilog_writer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace statsizer::bench_format {
+
+using netlist::GateFunc;
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+bool is_plain_identifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') return false;
+  for (const char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '$') return false;
+  }
+  static const std::unordered_set<std::string> kKeywords = {
+      "module", "endmodule", "input", "output", "wire", "assign"};
+  return !kKeywords.contains(name);
+}
+
+/// Verilog spelling of a net name: plain, or `\escaped ` (the trailing space
+/// is part of the escaped-identifier syntax).
+std::string vname(const std::string& name) {
+  if (is_plain_identifier(name)) return name;
+  return "\\" + name + " ";
+}
+
+void emit_decl_list(std::ostringstream& os, const char* kind,
+                    const std::vector<std::string>& names) {
+  constexpr std::size_t kPerLine = 8;
+  for (std::size_t i = 0; i < names.size(); i += kPerLine) {
+    os << "  " << kind << " ";
+    for (std::size_t j = i; j < std::min(names.size(), i + kPerLine); ++j) {
+      if (j > i) os << ", ";
+      os << vname(names[j]);
+    }
+    os << ";\n";
+  }
+}
+
+}  // namespace
+
+StatusOr<std::string> write_verilog(const Netlist& nl, const liberty::Library& lib) {
+  // Primary outputs: a PO whose name matches its driving net is the net
+  // itself (declared `output`); otherwise the port is a distinct name fed by
+  // an `assign`. Either way the port name must not collide with an unrelated
+  // net — Verilog cannot express that, so it is an error (the .bench writer's
+  // silent-rename fallback would break the lossless round-trip contract).
+  std::vector<std::string> output_ports;
+  std::vector<std::pair<std::string, GateId>> aliases;  // port -> driver
+  std::unordered_set<std::string> port_names;
+  for (const auto& out : nl.outputs()) {
+    if (!port_names.insert(out.name).second) {
+      return Status::error("duplicate output port '" + out.name + "'");
+    }
+    output_ports.push_back(out.name);
+    const GateId named = nl.find(out.name);
+    if (named == out.driver) {
+      if (nl.is_input(out.driver)) {
+        return Status::error("output '" + out.name +
+                             "' is also a primary input; Verilog has no such port");
+      }
+      continue;  // the driving net is the port
+    }
+    if (named != netlist::kNoGate) {
+      return Status::error("output port '" + out.name +
+                           "' collides with a different net of the same name");
+    }
+    aliases.emplace_back(out.name, out.driver);
+  }
+
+  std::vector<std::string> input_ports;
+  input_ports.reserve(nl.inputs().size());
+  for (const GateId id : nl.inputs()) input_ports.push_back(nl.gate(id).name);
+
+  // Everything that is neither a port nor a PI is an internal wire.
+  std::vector<std::string> wires;
+  for (GateId id = 0; id < nl.node_count(); ++id) {
+    const auto& g = nl.gate(id);
+    if (g.func == GateFunc::kInput) continue;
+    if (port_names.contains(g.name) && nl.find(g.name) == id) continue;
+    wires.push_back(g.name);
+  }
+
+  std::ostringstream os;
+  os << "// " << nl.name() << " — written by statsizer\n";
+  os << "// " << nl.inputs().size() << " inputs, " << nl.outputs().size() << " outputs, "
+     << nl.logic_gate_count() << " gates, library " << lib.name() << "\n";
+  os << "module " << vname(nl.name()) << " (";
+  bool first = true;
+  for (const std::string& p : input_ports) {
+    if (!first) os << ", ";
+    os << vname(p);
+    first = false;
+  }
+  for (const std::string& p : output_ports) {
+    if (!first) os << ", ";
+    os << vname(p);
+    first = false;
+  }
+  os << ");\n";
+  emit_decl_list(os, "input", input_ports);
+  emit_decl_list(os, "output", output_ports);
+  emit_decl_list(os, "wire", wires);
+
+  // Instances are emitted in GateId order (named pin connections don't need
+  // def-before-use, and read_verilog resolves any order). This makes
+  // write∘read idempotent after one trip: the reader's DFS hands out ids
+  // fanins-first, so a reader-produced netlist has topologically sorted ids,
+  // and re-reading its id-ordered text reassigns exactly the same ids.
+  std::size_t inst_index = 0;
+  for (GateId id = 0; id < nl.node_count(); ++id) {
+    const auto& g = nl.gate(id);
+    if (g.func == GateFunc::kInput) continue;
+    if (g.func == GateFunc::kConst0 || g.func == GateFunc::kConst1) {
+      // Constants carry no cell (techmap leaves them unbound); spell them as
+      // constant assigns, which read_verilog turns back into kConst nodes.
+      os << "  assign " << vname(g.name) << " = "
+         << (g.func == GateFunc::kConst0 ? "1'b0" : "1'b1") << ";\n";
+      continue;
+    }
+    if (g.cell_group == netlist::kUnmapped) {
+      return Status::error("gate '" + g.name +
+                           "' is not mapped to a library cell (run techmap first)");
+    }
+    const liberty::Cell& cell = lib.cell_for(g.cell_group, g.size_index);
+    const auto input_pins = cell.input_pins();
+    if (input_pins.size() != g.fanins.size()) {
+      return Status::error("gate '" + g.name + "': cell " + cell.name + " has " +
+                           std::to_string(input_pins.size()) + " input pins but the gate has " +
+                           std::to_string(g.fanins.size()) + " fanins");
+    }
+    os << "  " << cell.name << " u" << inst_index++ << " (";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      os << "." << input_pins[i]->name << "(" << vname(nl.gate(g.fanins[i]).name) << "), ";
+    }
+    os << "." << cell.output().name << "(" << vname(g.name) << "));\n";
+  }
+
+  for (const auto& [port, driver] : aliases) {
+    os << "  assign " << vname(port) << " = " << vname(nl.gate(driver).name) << ";\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+Status write_verilog_file(const Netlist& nl, const liberty::Library& lib,
+                          const std::string& path) {
+  auto text = write_verilog(nl, lib);
+  if (!text.ok()) return text.status();
+  std::ofstream file(path);
+  if (!file) return Status::error("cannot open " + path + " for writing");
+  file << *text;
+  return file.good() ? Status() : Status::error("write failed: " + path);
+}
+
+}  // namespace statsizer::bench_format

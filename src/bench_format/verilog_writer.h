@@ -1,0 +1,29 @@
+// Writer for structural gate-level Verilog (the inverse of
+// verilog_reader.h). Requires a mapped netlist: every gate is emitted as an
+// instantiation of its currently bound library cell, so drive-strength
+// choices made by the sizer survive the round trip bitwise
+// (read_verilog(write_verilog(nl)) reproduces names, functions, fanins,
+// cell groups and size indices). Names that are not plain Verilog
+// identifiers are emitted as `\escaped ` identifiers.
+#pragma once
+
+#include <string>
+
+#include "liberty/model.h"
+#include "netlist/netlist.h"
+#include "util/status.h"
+
+namespace statsizer::bench_format {
+
+/// Serializes @p nl (which must be mapped to @p lib) as structural Verilog.
+/// Fails if a gate is unmapped or if an output port's name collides with a
+/// differently-named net in a way Verilog cannot express.
+[[nodiscard]] StatusOr<std::string> write_verilog(const netlist::Netlist& nl,
+                                                  const liberty::Library& lib);
+
+/// Writes structural Verilog to a file.
+[[nodiscard]] Status write_verilog_file(const netlist::Netlist& nl,
+                                        const liberty::Library& lib,
+                                        const std::string& path);
+
+}  // namespace statsizer::bench_format

@@ -677,6 +677,75 @@ Netlist make_bcd_alu(unsigned digits) {
 // Random DAG
 // ---------------------------------------------------------------------------
 
+Netlist make_pipelined_datapath(const PipelineOptions& options) {
+  if (options.bits < 2 || options.stages == 0) {
+    throw std::invalid_argument("make_pipelined_datapath: need bits >= 2 and stages >= 1");
+  }
+  Builder b("pipe" + std::to_string(options.bits) + "x" + std::to_string(options.stages));
+  b.set_expand_xor(options.expand_xor);
+  std::vector<GateId> state = b.bus("a", options.bits);
+  const std::vector<GateId> mix = b.bus("b", options.bits);
+  GateId carry = b.input("cin");
+
+  for (unsigned s = 0; s < options.stages; ++s) {
+    // Operand: the state rotated right by one (wiring only), mixed with b.
+    std::vector<GateId> operand(options.bits);
+    for (unsigned i = 0; i < options.bits; ++i) {
+      operand[i] = b.xor_(state[(i + 1) % options.bits], mix[i]);
+    }
+    const AdderBits sum = cla_adder(b, state, operand, carry);
+    state = sum.sum;
+    carry = sum.carry_out;
+    b.output("cout" + std::to_string(s), sum.carry_out);
+  }
+  b.bus_out("r", state);
+  return b.take();
+}
+
+Netlist make_mesh_interconnect(const MeshOptions& options) {
+  if (options.rows == 0 || options.cols == 0 || options.bits < 2) {
+    throw std::invalid_argument("make_mesh_interconnect: need rows, cols >= 1 and bits >= 2");
+  }
+  Builder b("mesh" + std::to_string(options.rows) + "x" + std::to_string(options.cols) + "x" +
+            std::to_string(options.bits));
+
+  // North-edge buses (one per column) and west-edge buses (one per row).
+  std::vector<std::vector<GateId>> north(options.cols);
+  for (unsigned c = 0; c < options.cols; ++c) {
+    north[c] = b.bus("n" + std::to_string(c) + "_", options.bits);
+  }
+  std::vector<std::vector<GateId>> west(options.rows);
+  for (unsigned r = 0; r < options.rows; ++r) {
+    west[r] = b.bus("w" + std::to_string(r) + "_", options.bits);
+  }
+
+  // Row-major sweep; `north` tracks the south-flowing bus per column and
+  // `west[r]` the east-flowing bus of the current row.
+  for (unsigned r = 0; r < options.rows; ++r) {
+    for (unsigned c = 0; c < options.cols; ++c) {
+      const GateId sel = b.input("sel" + std::to_string(r) + "_" + std::to_string(c));
+      const std::vector<GateId>& n_bus = north[c];
+      const std::vector<GateId>& w_bus = west[r];
+      // cin = sel itself: observable and keeps the adder's carry chain live.
+      const AdderBits sum = cla_adder(b, n_bus, w_bus, sel);
+      std::vector<GateId> out(options.bits);
+      for (unsigned i = 0; i < options.bits; ++i) {
+        out[i] = b.mux(b.xor_(n_bus[i], w_bus[i]), sum.sum[i], sel);
+      }
+      b.output("co" + std::to_string(r) + "_" + std::to_string(c), sum.carry_out);
+      north[c] = out;
+      west[r] = std::move(out);
+    }
+  }
+  for (unsigned r = 0; r < options.rows; ++r) {
+    b.bus_out("e" + std::to_string(r) + "_", west[r]);
+  }
+  for (unsigned c = 0; c < options.cols; ++c) {
+    b.bus_out("s" + std::to_string(c) + "_", north[c]);
+  }
+  return b.take();
+}
+
 Netlist make_random_dag(const RandomDagOptions& options) {
   if (options.n_inputs == 0 || options.n_gates == 0) {
     throw std::invalid_argument("make_random_dag: need inputs and gates");

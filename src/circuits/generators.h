@@ -145,6 +145,38 @@ struct AluSystemOptions {
 /// barrel shifter and flag logic over @p digits BCD digits (4 bits each).
 [[nodiscard]] Netlist make_bcd_alu(unsigned digits);
 
+// -- scaled fabrics (10k-100k gates; wavefront-width workloads) ---------------
+
+/// Pipelined datapath: @p stages chained CLA stages over a @p bits-wide
+/// state. Stage s computes state' = CLA(state, ror1(state) XOR b) with the
+/// previous stage's carry-out as carry-in (stage 0 uses the `cin` input);
+/// ror1 rotates the bus right by one (pure wiring). Inputs a[bits], b[bits],
+/// cin; outputs r[bits] (final state) and cout<s> per stage. Each stage's
+/// propagate/generate layer is ~2*bits independent gates, so wavefront
+/// levels stay wide through the whole pipeline. ~10k gates at the defaults.
+struct PipelineOptions {
+  unsigned bits = 64;
+  unsigned stages = 14;
+  bool expand_xor = false;
+};
+[[nodiscard]] Netlist make_pipelined_datapath(const PipelineOptions& options);
+
+/// Mesh interconnect fabric: a rows x cols grid of @p bits-wide compute
+/// nodes. Node (r,c) takes the north bus (output of (r-1,c); row 0 reads
+/// primary-input bus n<c>_*), the west bus (output of (r,c-1); column 0
+/// reads w<r>_*), and a per-node select input sel<r>_<c>, computing
+/// out = sel ? CLA_sum(north, west, cin = sel) : north XOR west, with the
+/// adder's carry-out observable as output co<r>_<c>. East-edge and south-edge buses
+/// are primary outputs (e<r>_*, s<c>_*). Nodes on one anti-diagonal are
+/// independent, so level width scales with min(rows, cols) * bits.
+/// ~13k gates at 8x8x16.
+struct MeshOptions {
+  unsigned rows = 8;
+  unsigned cols = 8;
+  unsigned bits = 16;
+};
+[[nodiscard]] Netlist make_mesh_interconnect(const MeshOptions& options);
+
 /// Random DAG for property tests: reproducible from the seed.
 struct RandomDagOptions {
   unsigned n_inputs = 8;

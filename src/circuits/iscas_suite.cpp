@@ -13,6 +13,11 @@ const std::vector<std::string>& table1_names() {
   return kNames;
 }
 
+const std::vector<std::string>& scaled_workload_names() {
+  static const std::vector<std::string> kNames = {"mul32", "mul64", "pipe64", "mesh8"};
+  return kNames;
+}
+
 std::optional<Table1Reference> table1_reference(std::string_view name) {
   // Columns from the paper's Table 1: gates, original sigma/mu, and the
   // sigma reductions at lambda = 3 / lambda = 9.
@@ -129,6 +134,28 @@ netlist::Netlist make_table1_circuit(std::string_view name) {
   if (name == "c7552") {
     auto nl = make_adder_comparator(32);
     nl.set_name("c7552");
+    return nl;
+  }
+  // Scaled fabrics (scaled_workload_names): 10k-100k-gate workloads whose
+  // wavefront levels are wide enough for the parallel kernels.
+  if (name == "mul32") {
+    auto nl = make_array_multiplier(32, /*expand_xor=*/true);
+    nl.set_name("mul32");
+    return nl;
+  }
+  if (name == "mul64") {
+    auto nl = make_array_multiplier(64, /*expand_xor=*/true);
+    nl.set_name("mul64");
+    return nl;
+  }
+  if (name == "pipe64") {
+    auto nl = make_pipelined_datapath(PipelineOptions{});
+    nl.set_name("pipe64");
+    return nl;
+  }
+  if (name == "mesh8") {
+    auto nl = make_mesh_interconnect(MeshOptions{});
+    nl.set_name("mesh8");
     return nl;
   }
   throw std::invalid_argument("make_table1_circuit: unknown circuit '" + std::string(name) +

@@ -26,6 +26,14 @@ struct Table1Reference {
 /// All Table-1 circuit names, in the paper's row order.
 [[nodiscard]] const std::vector<std::string>& table1_names();
 
+/// The scaled 10k-100k-gate fabrics (wide array multipliers, pipelined
+/// datapath, mesh interconnect). Not in the paper's Table 1 — registered
+/// here so flows and benches load them like any other workload; their
+/// wavefront levels are wide enough for the parallel kernels to pay
+/// (median level width far above TimingOptions::min_level_width_for_parallel,
+/// unlike the ~400-gate Table-1 circuits).
+[[nodiscard]] const std::vector<std::string>& scaled_workload_names();
+
 /// Paper reference numbers for a circuit; nullopt for unknown names.
 [[nodiscard]] std::optional<Table1Reference> table1_reference(std::string_view name);
 

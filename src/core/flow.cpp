@@ -3,7 +3,12 @@
 #include <chrono>
 #include <stdexcept>
 
+#include <unordered_map>
+
 #include "bench_format/bench_reader.h"
+#include "bench_format/sdc_reader.h"
+#include "bench_format/verilog_reader.h"
+#include "bench_format/verilog_writer.h"
 #include "circuits/iscas_suite.h"
 #include "util/thread_pool.h"
 
@@ -17,8 +22,14 @@ Flow::Flow(FlowOptions options)
 Status Flow::load_circuit(netlist::Netlist nl) {
   if (const Status s = nl.check(); !s.ok()) return s;
   auto owned = std::make_unique<netlist::Netlist>(std::move(nl));
-  if (const Status s = techmap::map_to_library(*owned, library_, options_.mapping); !s.ok()) {
-    return s;
+  // An already-mapped netlist (e.g. read from structural Verilog, where each
+  // instantiation names its cell and drive) keeps its bindings; everything
+  // else goes through the mapper.
+  if (!techmap::is_mapped(*owned, library_)) {
+    if (const Status s = techmap::map_to_library(*owned, library_, options_.mapping);
+        !s.ok()) {
+      return s;
+    }
   }
   netlist_ = std::move(owned);
   context_ = std::make_unique<sta::TimingContext>(*netlist_, library_, variation_,
@@ -38,6 +49,93 @@ Status Flow::load_bench_file(const std::string& path) {
   auto parsed = bench_format::read_bench_file(path);
   if (!parsed.ok()) return parsed.status();
   return load_circuit(std::move(parsed.value()));
+}
+
+Status Flow::load_verilog_file(const std::string& path) {
+  auto parsed = bench_format::read_verilog_file(path, library_);
+  if (!parsed.ok()) return parsed.status();
+  return load_circuit(std::move(parsed.value()));
+}
+
+namespace {
+
+/// Resolves the parsed SDC's port names against the netlist into the sta
+/// layer's dense constraint vectors. Lives here (not in bench_format) to
+/// keep the format readers below the sta layer.
+StatusOr<sta::TimingConstraints> to_constraints(const bench_format::Sdc& sdc,
+                                                const netlist::Netlist& nl) {
+  sta::TimingConstraints c;
+  c.clock_period_ps = sdc.clock_period_ps;
+
+  if (!sdc.input_delays.empty()) {
+    c.input_arrival_ps.assign(nl.node_count(), 0.0);
+    for (const auto& entry : sdc.input_delays) {
+      if (entry.all_ports) {
+        for (const netlist::GateId id : nl.inputs()) {
+          c.input_arrival_ps[id] = entry.delay_ps;
+        }
+        continue;
+      }
+      for (const std::string& port : entry.ports) {
+        const netlist::GateId id = nl.find(port);
+        if (id == netlist::kNoGate || !nl.is_input(id)) {
+          return Status::error("set_input_delay: '" + port + "' is not a primary input of " +
+                               nl.name());
+        }
+        c.input_arrival_ps[id] = entry.delay_ps;
+      }
+    }
+  }
+
+  if (!sdc.output_delays.empty()) {
+    c.output_delay_ps.assign(nl.outputs().size(), 0.0);
+    std::unordered_map<std::string_view, std::size_t> output_index;
+    for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+      output_index.emplace(nl.outputs()[i].name, i);
+    }
+    for (const auto& entry : sdc.output_delays) {
+      if (entry.all_ports) {
+        for (double& d : c.output_delay_ps) d = entry.delay_ps;
+        continue;
+      }
+      for (const std::string& port : entry.ports) {
+        const auto it = output_index.find(port);
+        if (it == output_index.end()) {
+          return Status::error("set_output_delay: '" + port + "' is not a primary output of " +
+                               nl.name());
+        }
+        c.output_delay_ps[it->second] = entry.delay_ps;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Status Flow::apply_sdc(std::string_view text) {
+  if (!has_circuit()) return Status::error("apply_sdc: no circuit loaded");
+  auto sdc = bench_format::read_sdc(text);
+  if (!sdc.ok()) return sdc.status();
+  auto constraints = to_constraints(*sdc, *netlist_);
+  if (!constraints.ok()) return constraints.status();
+  context_->set_constraints(std::move(constraints.value()));
+  return Status();
+}
+
+Status Flow::apply_sdc_file(const std::string& path) {
+  if (!has_circuit()) return Status::error("apply_sdc_file: no circuit loaded");
+  auto sdc = bench_format::read_sdc_file(path);
+  if (!sdc.ok()) return sdc.status();
+  auto constraints = to_constraints(*sdc, *netlist_);
+  if (!constraints.ok()) return constraints.status();
+  context_->set_constraints(std::move(constraints.value()));
+  return Status();
+}
+
+Status Flow::write_verilog_file(const std::string& path) const {
+  if (!has_circuit()) return Status::error("write_verilog_file: no circuit loaded");
+  return bench_format::write_verilog_file(*netlist_, library_, path);
 }
 
 opt::DeterministicSizerStats Flow::run_baseline() {

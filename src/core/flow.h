@@ -114,6 +114,24 @@ class Flow {
   [[nodiscard]] Status load_table1(std::string_view name);
   /// Reads an ISCAS .bench file.
   [[nodiscard]] Status load_bench_file(const std::string& path);
+  /// Reads a structural-Verilog file against this flow's library. The file's
+  /// cell bindings (drive strengths) are adopted as-is: load_circuit skips
+  /// re-mapping for already-mapped netlists.
+  [[nodiscard]] Status load_verilog_file(const std::string& path);
+
+  // -- constraints ------------------------------------------------------------
+  /// Parses SDC text / a file and installs the resulting constraints on the
+  /// current TimingContext (clock period as the required-time target,
+  /// set_input_delay as primary-input arrivals, set_output_delay as
+  /// per-output required-time margins). Port names are matched against the
+  /// loaded netlist; unknown ports are errors. Precondition: a circuit is
+  /// loaded.
+  [[nodiscard]] Status apply_sdc(std::string_view text);
+  [[nodiscard]] Status apply_sdc_file(const std::string& path);
+
+  // -- write-back -------------------------------------------------------------
+  /// Writes the current (sized) netlist as structural Verilog.
+  [[nodiscard]] Status write_verilog_file(const std::string& path) const;
 
   // -- optimization -----------------------------------------------------------
   /// Deterministic mean-delay sizing: establishes the paper's "original"

@@ -16,6 +16,17 @@ FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions
 
   std::vector<DiscretePdf> arrival(nl.node_count(), DiscretePdf::point(0.0));
 
+  // Constrained primary inputs (set_input_delay) launch as a point mass at
+  // their delay. Guarded so the unconstrained path stays bitwise-identical.
+  const auto& input_arrival = ctx.constraints().input_arrival_ps;
+  if (!input_arrival.empty()) {
+    for (GateId id = 0; id < nl.node_count(); ++id) {
+      if (!nl.gate(id).fanins.empty() || input_arrival[id] == 0.0) continue;
+      arrival[id] = DiscretePdf::point(input_arrival[id]);
+      result.node[id] = sta::NodeMoments{input_arrival[id], 0.0};
+    }
+  }
+
   // One gate's arrival from its (already finished) fanins: reads lower-level
   // pdfs, writes only the gate's own slots.
   const auto propagate_gate = [&](GateId id) {

@@ -27,6 +27,7 @@ MonteCarloResult run_monte_carlo(const sta::TimingContext& ctx,
                                  const MonteCarloOptions& options) {
   const auto& nl = ctx.netlist();
   const auto& var = ctx.variation();
+  const auto& pi_arrival = ctx.constraints().input_arrival_ps;
 
   MonteCarloResult result;
   result.circuit_samples.resize(options.samples, 0.0);
@@ -60,7 +61,9 @@ MonteCarloResult run_monte_carlo(const sta::TimingContext& ctx,
           const double global_z = rng.normal();
           for (const GateId id : ctx.topo_order()) {
             const auto& g = nl.gate(id);
-            double arr = 0.0;
+            // Constrained primary inputs (set_input_delay) launch at their
+            // fixed offset; the guard keeps the unconstrained path bitwise.
+            double arr = (g.fanins.empty() && !pi_arrival.empty()) ? pi_arrival[id] : 0.0;
             for (std::size_t i = 0; i < g.fanins.size(); ++i) {
               const double d = var.sample_delay_ps(ctx.arc_delay_ps(id, i), ctx.drive(id),
                                                    global_z, rng);

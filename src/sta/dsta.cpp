@@ -9,13 +9,17 @@ using netlist::GateId;
 
 DstaResult run_dsta(const TimingContext& ctx, std::optional<double> clock_period_ps) {
   const auto& nl = ctx.netlist();
+  const TimingConstraints& cons = ctx.constraints();
   const std::size_t n = nl.node_count();
   DstaResult r;
   r.arrival_ps.assign(n, 0.0);
 
   for (const GateId id : ctx.topo_order()) {
     const auto& g = nl.gate(id);
-    double arr = 0.0;
+    // Constrained primary inputs launch at their set_input_delay offset.
+    double arr = (g.fanins.empty() && !cons.input_arrival_ps.empty())
+                     ? cons.input_arrival_ps[id]
+                     : 0.0;
     for (std::size_t i = 0; i < g.fanins.size(); ++i) {
       arr = std::max(arr, r.arrival_ps[g.fanins[i]] + ctx.arc_delay_ps(id, i));
     }
@@ -29,12 +33,20 @@ DstaResult run_dsta(const TimingContext& ctx, std::optional<double> clock_period
     }
   }
 
-  // Required times: initialize at POs, relax backwards.
-  const double target = clock_period_ps.value_or(r.max_arrival_ps);
+  // Required times: initialize at POs, relax backwards. Precedence for the
+  // PO target: explicit argument, then the context's constraints
+  // (create_clock), then zero-slack normalization at the observed max
+  // arrival. set_output_delay tightens each output by its own margin.
+  const double target =
+      clock_period_ps.has_value()
+          ? *clock_period_ps
+          : cons.clock_period_ps.value_or(r.max_arrival_ps);
   constexpr double kInf = std::numeric_limits<double>::infinity();
   r.required_ps.assign(n, kInf);
-  for (const auto& out : nl.outputs()) {
-    r.required_ps[out.driver] = std::min(r.required_ps[out.driver], target);
+  for (std::size_t oi = 0; oi < nl.outputs().size(); ++oi) {
+    const auto& out = nl.outputs()[oi];
+    const double margin = cons.output_delay_ps.empty() ? 0.0 : cons.output_delay_ps[oi];
+    r.required_ps[out.driver] = std::min(r.required_ps[out.driver], target - margin);
   }
   for (auto it = ctx.topo_order().rbegin(); it != ctx.topo_order().rend(); ++it) {
     const GateId id = *it;

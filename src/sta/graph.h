@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -53,6 +54,38 @@ void run_wavefront_level(std::span<const netlist::GateId> level, std::size_t wid
 struct NodeMoments {
   double mean_ps = 0.0;
   double sigma_ps = 0.0;
+};
+
+/// External timing constraints (the SDC subset bench_format::read_sdc
+/// understands). Constraints shape the *analysis* — arrival initialization
+/// and required times — never the snapshot: update()'s loads, slews, and arc
+/// delays are unaffected. Empty vectors mean "unconstrained"; with an empty
+/// TimingConstraints every engine is bitwise-identical to its historical
+/// constraint-free behaviour.
+///
+/// Engine contract: run_dsta honours all three fields. run_fullssta and
+/// run_monte_carlo honour input_arrival_ps (the arrival pdf of a constrained
+/// primary input starts as a point mass at its delay); clock_period_ps and
+/// output_delay_ps are required-time concepts and only affect slack-style
+/// analyses (run_dsta). The canonical/FASSTA engines operate on subcircuit
+/// boundary moments supplied by FULLSSTA and pick constraints up through
+/// them.
+struct TimingConstraints {
+  /// create_clock -period: the required-time target at primary outputs.
+  std::optional<double> clock_period_ps;
+  /// set_input_delay per primary input, indexed by GateId. Empty = all zero.
+  /// When non-empty, the vector must cover every node; entries for nodes
+  /// with fanins are ignored.
+  std::vector<double> input_arrival_ps;
+  /// set_output_delay per primary output, aligned with Netlist::outputs().
+  /// Empty = all zero. Subtracted from the clock target to form each
+  /// output's required time.
+  std::vector<double> output_delay_ps;
+
+  [[nodiscard]] bool empty() const {
+    return !clock_period_ps.has_value() && input_arrival_ps.empty() &&
+           output_delay_ps.empty();
+  }
 };
 
 struct TimingOptions {
@@ -119,6 +152,16 @@ class TimingContext {
   /// must not change over the context's lifetime). The wavefront kernels —
   /// update(), ssta::run_fullssta, the cone replay — iterate its levels.
   [[nodiscard]] const netlist::Levelization& levelization() const { return levels_; }
+
+  // -- constraints -----------------------------------------------------------
+  /// Installs external timing constraints (typically from an SDC file via
+  /// bench_format::to_constraints). Non-empty vectors must be sized as
+  /// documented on TimingConstraints. Does not trigger an update(): the
+  /// snapshot is constraint-independent.
+  void set_constraints(TimingConstraints constraints) {
+    constraints_ = std::move(constraints);
+  }
+  [[nodiscard]] const TimingConstraints& constraints() const { return constraints_; }
 
   // -- per-node --------------------------------------------------------------
   /// True for nodes bound to a library cell (logic gates).
@@ -210,6 +253,7 @@ class TimingContext {
   const liberty::Library& lib_;
   const variation::VariationModel& var_;
   TimingOptions options_;
+  TimingConstraints constraints_;
 
   /// Serial body of the slew/arc pass for one gate (shared by the serial
   /// topo-order loop and the per-level wavefront workers).

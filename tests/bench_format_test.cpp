@@ -82,6 +82,64 @@ TEST(BenchReader, SingleInputAndNormalizesToBuf) {
   EXPECT_EQ(parsed->gate(parsed->find("Y")).func, GateFunc::kBuf);
 }
 
+TEST(BenchReader, PortPrefixedSignalNamesAreGates) {
+  // Regression: a gate assignment whose target merely *starts with*
+  // INPUT/OUTPUT must not be parsed as a port declaration.
+  constexpr const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(OUTPUT_BUS_0)
+INPUT_REG_3 = AND(a, b)
+OUTPUT_BUS_0 = NOT(INPUT_REG_3)
+)";
+  auto parsed = read_bench(text, "prefixed");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->inputs().size(), 2u);
+  EXPECT_EQ(parsed->outputs().size(), 1u);
+  EXPECT_EQ(parsed->gate(parsed->find("INPUT_REG_3")).func, GateFunc::kAnd);
+  EXPECT_EQ(parsed->gate(parsed->find("OUTPUT_BUS_0")).func, GateFunc::kInv);
+}
+
+TEST(BenchReader, PortKeywordMustBeExact) {
+  // "INPUTX(a)" starts with INPUT but is neither a port nor an assignment.
+  const auto r = read_bench("INPUTX(a)\nOUTPUT(Y)\nY = NOT(a)\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos) << r.status().message();
+}
+
+TEST(BenchReader, EmptyFaninArgumentIsAnError) {
+  // Regression: "AND(a,,b)" used to silently parse as a 2-input AND.
+  const auto mid = read_bench("INPUT(a)\nINPUT(b)\nOUTPUT(Y)\nY = AND(a,,b)\n");
+  ASSERT_FALSE(mid.ok());
+  EXPECT_NE(mid.status().message().find("line 4"), std::string::npos) << mid.status().message();
+
+  const auto trailing = read_bench("INPUT(a)\nINPUT(b)\nOUTPUT(Y)\nY = AND(a,b,)\n");
+  EXPECT_FALSE(trailing.ok());
+  const auto leading = read_bench("INPUT(a)\nINPUT(b)\nOUTPUT(Y)\nY = AND(,a,b)\n");
+  EXPECT_FALSE(leading.ok());
+  // An empty argument list still reports "no fanins".
+  EXPECT_FALSE(read_bench("INPUT(a)\nOUTPUT(Y)\nY = AND()\n").ok());
+}
+
+TEST(BenchReader, DuplicateOutputDeclarationIsAnError) {
+  const auto r = read_bench("INPUT(a)\nOUTPUT(Y)\nOUTPUT(Y)\nY = NOT(a)\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos) << r.status().message();
+  EXPECT_NE(r.status().message().find("declared twice"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(BenchReader, TrailingJunkIsAnError) {
+  EXPECT_FALSE(read_bench("INPUT(a) junk\nOUTPUT(Y)\nY = NOT(a)\n").ok());
+  EXPECT_FALSE(read_bench("INPUT(a)\nOUTPUT(Y) extra\nY = NOT(a)\n").ok());
+  const auto gate = read_bench("INPUT(a)\nOUTPUT(Y)\nY = NOT(a) garbage\n");
+  ASSERT_FALSE(gate.ok());
+  EXPECT_NE(gate.status().message().find("line 3"), std::string::npos)
+      << gate.status().message();
+  // Comments after the ')' remain fine.
+  EXPECT_TRUE(read_bench("INPUT(a)  # in\nOUTPUT(Y)\nY = NOT(a)  # gate\n").ok());
+}
+
 TEST(BenchReader, Errors) {
   EXPECT_FALSE(read_bench("INPUT(A)\nOUTPUT(Y)\nY = DFF(A)\n").ok());
   EXPECT_FALSE(read_bench("INPUT(A)\nOUTPUT(Y)\nY = FROB(A)\n").ok());

@@ -437,5 +437,118 @@ TEST(Table1Suite, GateCountsInPaperBallpark) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// scaled fabrics
+// ---------------------------------------------------------------------------
+
+TEST(PipelinedDatapath, MatchesStagedReferenceModel) {
+  PipelineOptions o;
+  o.bits = 8;
+  o.stages = 3;
+  const Netlist nl = make_pipelined_datapath(o);
+  ASSERT_EQ(nl.inputs().size(), 2u * o.bits + 1);       // a, b, cin
+  ASSERT_EQ(nl.outputs().size(), o.stages + o.bits);    // cout<s>..., r
+  const Simulator sim(nl);
+  const std::uint64_t mask = (1ULL << o.bits) - 1;
+
+  util::Rng rng(97);
+  std::vector<std::uint64_t> words(nl.inputs().size(), 0);
+  std::vector<std::uint64_t> a_vals(64), b_vals(64);
+  std::vector<bool> cins(64);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    a_vals[lane] = rng.index(mask + 1);
+    b_vals[lane] = rng.index(mask + 1);
+    cins[lane] = rng.flip();
+    drive_bus(words, 0, o.bits, a_vals[lane], lane);
+    drive_bus(words, o.bits, o.bits, b_vals[lane], lane);
+    if (cins[lane]) words[2 * o.bits] |= 1ULL << lane;
+  }
+  const auto outs = sim.eval(words);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    // Stage s: state' = state + (ror1(state) ^ b) + carry, carry chains on.
+    std::uint64_t state = a_vals[lane];
+    std::uint64_t carry = cins[lane] ? 1 : 0;
+    for (unsigned s = 0; s < o.stages; ++s) {
+      const std::uint64_t ror1 = ((state >> 1) | (state << (o.bits - 1))) & mask;
+      const std::uint64_t t = state + (ror1 ^ b_vals[lane]) + carry;
+      state = t & mask;
+      carry = (t >> o.bits) & 1;
+      const bool cout = (outs[s] >> lane) & 1u;
+      EXPECT_EQ(cout, carry != 0) << "stage " << s << " lane " << lane;
+    }
+    EXPECT_EQ(read_bus(outs, o.stages, o.bits, lane), state) << "lane " << lane;
+  }
+}
+
+TEST(MeshInterconnect, MatchesGridReferenceModel) {
+  MeshOptions o;
+  o.rows = 2;
+  o.cols = 2;
+  o.bits = 4;
+  const Netlist nl = make_mesh_interconnect(o);
+  // Inputs: n<c> buses, w<r> buses, then sel<r>_<c> row-major.
+  ASSERT_EQ(nl.inputs().size(), (o.rows + o.cols) * o.bits + o.rows * o.cols);
+  // Outputs: co<r>_<c> row-major, then e<r> buses, then s<c> buses.
+  ASSERT_EQ(nl.outputs().size(), o.rows * o.cols + (o.rows + o.cols) * o.bits);
+  const Simulator sim(nl);
+  const std::uint64_t mask = (1ULL << o.bits) - 1;
+  const std::size_t sel_base = (o.rows + o.cols) * o.bits;
+
+  util::Rng rng(131);
+  std::vector<std::uint64_t> words(nl.inputs().size(), 0);
+  std::vector<std::vector<std::uint64_t>> n_vals(o.cols), w_vals(o.rows);
+  std::vector<std::vector<bool>> sels(o.rows * o.cols);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    for (unsigned c = 0; c < o.cols; ++c) {
+      n_vals[c].push_back(rng.index(mask + 1));
+      drive_bus(words, c * o.bits, o.bits, n_vals[c][lane], lane);
+    }
+    for (unsigned r = 0; r < o.rows; ++r) {
+      w_vals[r].push_back(rng.index(mask + 1));
+      drive_bus(words, (o.cols + r) * o.bits, o.bits, w_vals[r][lane], lane);
+    }
+    for (unsigned i = 0; i < o.rows * o.cols; ++i) {
+      sels[i].push_back(rng.flip());
+      if (sels[i][lane]) words[sel_base + i] |= 1ULL << lane;
+    }
+  }
+  const auto outs = sim.eval(words);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    std::vector<std::uint64_t> north(o.cols), west(o.rows);
+    for (unsigned c = 0; c < o.cols; ++c) north[c] = n_vals[c][lane];
+    for (unsigned r = 0; r < o.rows; ++r) west[r] = w_vals[r][lane];
+    for (unsigned r = 0; r < o.rows; ++r) {
+      for (unsigned c = 0; c < o.cols; ++c) {
+        // out = sel ? north + west + sel : north ^ west; co is the adder's
+        // carry-out either way (cin = sel keeps the chain live).
+        const std::uint64_t sel = sels[r * o.cols + c][lane] ? 1 : 0;
+        const std::uint64_t sum = north[c] + west[r] + sel;
+        const std::uint64_t out = sel ? (sum & mask) : (north[c] ^ west[r]);
+        const bool co = (outs[r * o.cols + c] >> lane) & 1u;
+        EXPECT_EQ(co, ((sum >> o.bits) & 1u) != 0) << "node " << r << "," << c;
+        north[c] = out;
+        west[r] = out;
+      }
+    }
+    const std::size_t e_base = o.rows * o.cols;
+    for (unsigned r = 0; r < o.rows; ++r) {
+      EXPECT_EQ(read_bus(outs, e_base + r * o.bits, o.bits, lane), west[r]) << "east " << r;
+    }
+    const std::size_t s_base = e_base + o.rows * o.bits;
+    for (unsigned c = 0; c < o.cols; ++c) {
+      EXPECT_EQ(read_bus(outs, s_base + c * o.bits, o.bits, lane), north[c]) << "south " << c;
+    }
+  }
+}
+
+TEST(ScaledWorkloads, AreRegisteredAndBig) {
+  for (const auto& name : scaled_workload_names()) {
+    const Netlist nl = make_table1_circuit(name);
+    EXPECT_EQ(nl.name(), name);
+    EXPECT_GE(nl.logic_gate_count(), 10000u) << name;
+    EXPECT_FALSE(table1_reference(name).has_value()) << name << " is not a paper row";
+  }
+}
+
 }  // namespace
 }  // namespace statsizer::circuits

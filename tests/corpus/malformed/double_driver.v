@@ -1,0 +1,6 @@
+module bad (a, b, y);
+  input a, b;
+  output y;
+  INV_X1 u0 (.A(a), .ZN(y));
+  INV_X1 u1 (.A(b), .ZN(y));
+endmodule

@@ -1,0 +1,5 @@
+module bad (a, b, y);
+  input a, b;
+  output y;
+  assign y = a & b;
+endmodule

@@ -1,0 +1,1 @@
+set_input_delay [all_inputs]

@@ -1,0 +1,4 @@
+module bad (a, y);
+  input a;
+  output y;
+  INV_X1 u0 (.A(a), .ZN(y));

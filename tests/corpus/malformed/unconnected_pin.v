@@ -1,0 +1,5 @@
+module bad (a, b, y);
+  input a, b;
+  output y;
+  NAND2_X1 u0 (.A1(a), .ZN(y));
+endmodule

@@ -1,0 +1,5 @@
+module bad (a, y);
+  input a;
+  output y;
+  INV_X1 u0 (.A(mystery), .ZN(y));
+endmodule

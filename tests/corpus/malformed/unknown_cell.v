@@ -1,0 +1,5 @@
+module bad (a, y);
+  input a;
+  output y;
+  FROBNICATOR_X1 u0 (.A(a), .ZN(y));
+endmodule

@@ -1,0 +1,2 @@
+create_clock -period 800
+set_input_delay 60 [get_ports no_such_port]

@@ -1,0 +1,1 @@
+set_input_delay 60 [get_ports {a b]
