@@ -362,6 +362,96 @@ void BM_FullSstaThreads(benchmark::State& state, const std::string& name) {
                  "ps sigma=" + std::to_string(reference.sigma_ps) + "ps");
 }
 
+// ---------------------------------------------------------------------------
+// Importance-sampled yield: draws-to-target-CI, ISLE vs plain Monte Carlo.
+// ---------------------------------------------------------------------------
+
+/// Yield-estimation fixture: a mapped workload under the inter-die variation
+/// scenario ISLE targets (half the systematic variance global). No optimizer
+/// passes — the estimators' cost does not depend on the sizing state.
+core::Flow& yield_flow_for(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<core::Flow>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    core::FlowOptions options;
+    options.variation.global_fraction = 0.5;
+    auto flow = std::make_unique<core::Flow>(options);
+    if (const Status s = flow->load_table1(name); !s.ok()) {
+      throw std::runtime_error(s.message());
+    }
+    it = cache.emplace(name, std::move(flow)).first;
+  }
+  return *it->second;
+}
+
+/// Shared configuration for the two yield benches: a deep-tail clock and the
+/// matched adaptive target both estimators must reach. Only `proposal`
+/// differs between them. The clock is calibrated from a fixed-seed 1024-draw
+/// plain-MC pilot (the surrogate underestimates mesh8's spread, which would
+/// park the tail at p ~ 7e-2 where any proposal is as good as nominal):
+/// T = pilot mean + 3 sigma pins the true p_fail near 1.3e-3 on every
+/// workload, and the 5e-4 target then makes the MC baseline need
+/// p(1-p)/se^2 ~ 5k draws — a tail deep enough that the proposal is doing
+/// the work, shallow enough that the baseline stays runnable on mesh8.
+ssta::IsleOptions yield_bench_options(core::Flow& flow, ssta::IsleProposal proposal) {
+  ssta::IsleOptions pilot;
+  pilot.samples = 1024;
+  pilot.proposal = ssta::IsleProposal::kNominal;
+  const ssta::IsleResult s = ssta::run_isle(flow.timing(), pilot);
+
+  ssta::IsleOptions opt;
+  opt.proposal = proposal;
+  opt.clock_period_ps = s.weighted_mean_ps + 3.0 * s.weighted_sigma_ps;
+  opt.target_yield_se = 5e-4;
+  opt.min_draws = 64;
+  opt.batch = 64;
+  opt.samples = 65536;  // adaptive cap
+  return opt;
+}
+
+/// One adaptive ISLE estimate per iteration, with a one-shot check that the
+/// sharded sampler is bitwise-identical to the serial one (estimate, draws,
+/// per-draw weights and delays).
+void BM_IsleYield(benchmark::State& state, const std::string& name) {
+  auto& flow = yield_flow_for(name);
+  ssta::IsleOptions opt = yield_bench_options(flow, ssta::IsleProposal::kImportance);
+  opt.threads = 1;
+  const ssta::IsleResult reference = ssta::run_isle(flow.timing(), opt);
+  opt.threads = 4;
+  const ssta::IsleResult parallel = ssta::run_isle(flow.timing(), opt);
+  if (parallel.yield != reference.yield || parallel.std_error != reference.std_error ||
+      parallel.draws != reference.draws || parallel.weights != reference.weights ||
+      parallel.delay_samples != reference.delay_samples) {
+    state.SkipWithError("parallel ISLE diverged from the serial reference");
+    return;
+  }
+  opt.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssta::run_isle(flow.timing(), opt));
+  }
+  state.counters["draws"] = static_cast<double>(reference.draws);
+  state.counters["yield_se"] = reference.std_error;
+  state.SetLabel("p_fail=" + std::to_string(reference.failure_probability) +
+                 " draws=" + std::to_string(reference.draws));
+}
+
+/// The same adaptive loop with the nominal proposal (= plain Monte Carlo,
+/// bitwise; see IsleYield.NominalProposalIsBitwisePlainMonteCarlo): the
+/// draws-to-target-CI baseline ISLE is measured against.
+void BM_PlainMcYield(benchmark::State& state, const std::string& name) {
+  auto& flow = yield_flow_for(name);
+  const ssta::IsleOptions opt = yield_bench_options(flow, ssta::IsleProposal::kNominal);
+  ssta::IsleResult last;
+  for (auto _ : state) {
+    last = ssta::run_isle(flow.timing(), opt);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["draws"] = static_cast<double>(last.draws);
+  state.counters["yield_se"] = last.std_error;
+  state.SetLabel("p_fail=" + std::to_string(last.failure_probability) +
+                 " draws=" + std::to_string(last.draws));
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Fassta, alu2, std::string("alu2"));
@@ -432,6 +522,14 @@ BENCHMARK_CAPTURE(BM_FullSstaThreads, mesh8, std::string("mesh8"))
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+// Draws-to-target-CI head-to-head: both estimators run the identical
+// adaptive loop to the same standard-error target; the draws/yield_se
+// counters (not just the wall time) are the result. mesh8 is the committed
+// snapshot point (scripts/bench_snapshot.sh BENCH_isle_yield.json).
+BENCHMARK_CAPTURE(BM_IsleYield, c880, std::string("c880"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PlainMcYield, c880, std::string("c880"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_IsleYield, mesh8, std::string("mesh8"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PlainMcYield, mesh8, std::string("mesh8"))->Unit(benchmark::kMillisecond);
 
 // Custom main: `--json <path>` is shorthand for google-benchmark's
 // --benchmark_out=<path> --benchmark_out_format=json, so callers (and

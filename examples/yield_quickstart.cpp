@@ -1,0 +1,109 @@
+// Yield quickstart — importance-sampled timing yield through the flow's
+// front door:
+//
+//   core::Flow flow;
+//   flow.load_table1("c432");
+//   auto report = flow.estimate_yield();   // ISLE, clock resolved per options
+//   std::cout << report.yield();
+//
+// Report mode prints Y(T), its standard error, the draw count, and the
+// weight diagnostics for both engines ("isle" importance sampling vs "mc"
+// plain Monte Carlo through the same machinery), so the draws-to-CI gap is
+// visible directly.
+//
+// `--check` is the scripts/check.sh --yield-smoke entry point: on c432 under
+// the inter-die variation scenario, a tight-budget ISLE estimate must agree
+// with a larger plain-MC reference within 3 * combined standard error plus a
+// 0.02 discreteness budget, and must not be flagged degenerate — exit 1
+// (loudly) otherwise.
+//
+// Usage:
+//   example_yield_quickstart [circuit]   # report mode (default c432)
+//   example_yield_quickstart --check     # smoke mode, exit 0/1
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/flow.h"
+#include "ssta/isle.h"
+#include "util/table.h"
+
+using namespace statsizer;
+
+namespace {
+
+void print_report(const core::YieldReport& r) {
+  const ssta::IsleResult& y = r.result;
+  std::printf("  %-5s T=%.1fps yield=%.4f +- %.4f  draws=%-6zu ess=%.0f "
+              "max_w=%.2f%s\n",
+              r.engine.c_str(), y.clock_period_ps, y.yield, y.std_error, y.draws,
+              y.ess, y.max_weight, y.degenerate ? "  [DEGENERATE]" : "");
+}
+
+int report_mode(const std::string& circuit) {
+  core::FlowOptions options;
+  options.variation.global_fraction = 0.5;  // inter-die variation scenario
+  options.isle.target_yield_se = 2e-3;
+  options.isle.samples = 16384;  // adaptive cap; isle stops far earlier
+  core::Flow flow(options);
+  if (const Status s = flow.load_table1(circuit); !s.ok()) {
+    std::fprintf(stderr, "load_table1(%s): %s\n", circuit.c_str(), s.message().c_str());
+    return 1;
+  }
+  std::printf("%s: timing yield at the surrogate 2-sigma clock\n", circuit.c_str());
+  print_report(flow.estimate_yield());            // importance sampling
+  print_report(flow.estimate_yield(0.0, "mc"));   // plain MC, same machinery
+  return 0;
+}
+
+int check_mode() {
+  core::FlowOptions options;
+  options.variation.global_fraction = 0.5;
+  core::Flow flow(options);
+  if (const Status s = flow.load_table1("c432"); !s.ok()) {
+    std::fprintf(stderr, "yield-smoke: load_table1(c432): %s\n", s.message().c_str());
+    return 1;
+  }
+
+  // Clock from the surrogate: T = m + 2.5 sigma (one draw builds it).
+  ssta::IsleOptions probe;
+  probe.samples = 1;
+  probe.proposal = ssta::IsleProposal::kNominal;
+  const ssta::IsleResult sur = ssta::run_isle(flow.timing(), probe);
+  const double period = sur.surrogate_mean_ps + 2.5 * sur.surrogate_sigma_ps;
+
+  ssta::IsleOptions isle;
+  isle.clock_period_ps = period;
+  isle.samples = 1024;  // the tight budget under test
+  const ssta::IsleResult fast = ssta::run_isle(flow.timing(), isle);
+
+  ssta::IsleOptions mc = isle;
+  mc.proposal = ssta::IsleProposal::kNominal;
+  mc.samples = 8192;  // the reference
+  const ssta::IsleResult ref = ssta::run_isle(flow.timing(), mc);
+
+  const double gap = std::abs(fast.yield - ref.yield);
+  const double bound =
+      3.0 * std::sqrt(fast.std_error * fast.std_error + ref.std_error * ref.std_error) +
+      0.02;
+  std::printf("yield-smoke: c432 T=%.1fps isle=%.4f+-%.4f (%zu draws) "
+              "mc=%.4f+-%.4f (%zu draws) gap=%.4f bound=%.4f\n",
+              period, fast.yield, fast.std_error, fast.draws, ref.yield,
+              ref.std_error, ref.draws, gap, bound);
+  if (fast.degenerate) {
+    std::fprintf(stderr, "yield-smoke: FAILED: isle estimate flagged degenerate\n");
+    return 1;
+  }
+  if (gap > bound) {
+    std::fprintf(stderr, "yield-smoke: FAILED: isle and mc disagree beyond 3*SE\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--check") return check_mode();
+  return report_mode(argc > 1 ? argv[1] : "c432");
+}

@@ -7,6 +7,11 @@
 #   scripts/bench_snapshot.sh out.json        # custom output path
 #   scripts/bench_snapshot.sh out.json REGEX  # custom --benchmark_filter
 #
+# An output path matching *isle_yield* defaults the filter to the
+# importance-sampled yield head-to-head (BM_IsleYield|BM_PlainMcYield, whose
+# draws/yield_se counters are the draws-to-target-CI record):
+#   scripts/bench_snapshot.sh BENCH_isle_yield.json
+#
 # The JSON (google-benchmark schema: per-benchmark real_time / cpu_time plus
 # the run context) is the repo's perf trajectory — commit a snapshot per perf
 # PR so later sessions can diff kernels against it. Numbers are only
@@ -19,7 +24,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_update_levelized.json}"
-FILTER="${2:-BM_TimingUpdate|BM_UpdateThreads|BM_FullSstaThreads|BM_Fullssta/c880}"
+case "${OUT}" in
+  *isle_yield*) DEFAULT_FILTER='BM_IsleYield|BM_PlainMcYield' ;;
+  *) DEFAULT_FILTER='BM_TimingUpdate|BM_UpdateThreads|BM_FullSstaThreads|BM_Fullssta/c880' ;;
+esac
+FILTER="${2:-${DEFAULT_FILTER}}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
 GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"

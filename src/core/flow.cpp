@@ -288,6 +288,22 @@ std::vector<MonteCarloJobResult> Flow::run_monte_carlo_batch(
   return results;
 }
 
+YieldReport Flow::estimate_yield(double clock_period_ps, std::string_view engine) const {
+  if (!has_circuit()) throw std::logic_error("Flow::estimate_yield: no circuit loaded");
+  ssta::IsleOptions isle = options_.isle;
+  if (clock_period_ps > 0.0) isle.clock_period_ps = clock_period_ps;
+  if (engine == "mc") {
+    isle.proposal = ssta::IsleProposal::kNominal;
+  } else if (engine != "isle") {
+    throw std::invalid_argument("Flow::estimate_yield: unknown engine \"" +
+                                std::string(engine) + "\" (known: isle, mc)");
+  }
+  YieldReport report;
+  report.engine = engine;
+  report.result = ssta::run_isle(*context_, isle);
+  return report;
+}
+
 opt::CircuitStats Flow::analyze() const {
   if (!has_circuit()) throw std::logic_error("Flow::analyze: no circuit loaded");
   const ssta::FullSstaResult full = ssta::run_fullssta(*context_, options_.fullssta);
@@ -306,6 +322,7 @@ ssta::FullSstaResult Flow::full_analysis() const {
 std::unique_ptr<timing::Analyzer> Flow::make_analyzer(std::string_view name) const {
   timing::AnalyzerOptions analyzer_options;
   analyzer_options.fullssta = options_.fullssta;
+  analyzer_options.isle = options_.isle;
   return timing::make_analyzer(name, analyzer_options);
 }
 

@@ -27,6 +27,7 @@
 #include "pdf/discrete_pdf.h"
 #include "sta/graph.h"
 #include "ssta/fullssta.h"
+#include "ssta/isle.h"
 #include "ssta/monte_carlo.h"
 #include "techmap/mapper.h"
 #include "timing/analyzer.h"
@@ -43,6 +44,9 @@ struct FlowOptions {
   opt::InitialSizingOptions initial_sizing;
   opt::DeterministicSizerOptions baseline;
   ssta::FullSstaOptions fullssta;
+  /// Importance-sampled yield estimation (Flow::estimate_yield and the
+  /// "isle" analyzer created through Flow::make_analyzer).
+  ssta::IsleOptions isle;
   /// Baseline shaping: how constrained-mode area recovery guards timing, its
   /// tolerance, and how many lambda = 0 polish iterations run after recovery
   /// to leave the "original" circuit near its mean-delay optimum (the paper's
@@ -103,6 +107,18 @@ struct MonteCarloJobResult {
   std::optional<OptimizationRecord> record;
 };
 
+/// Flow::estimate_yield's payload: which engine produced the estimate plus
+/// the full estimator result (yield, standard error, draws, ESS/weight
+/// diagnostics, resolved clock period).
+struct YieldReport {
+  std::string engine;
+  ssta::IsleResult result;
+
+  [[nodiscard]] double yield() const { return result.yield; }
+  [[nodiscard]] double std_error() const { return result.std_error; }
+  [[nodiscard]] std::size_t draws() const { return result.draws; }
+};
+
 class Flow {
  public:
   explicit Flow(FlowOptions options = {});
@@ -155,6 +171,16 @@ class Flow {
       const FlowOptions& options = {});
 
   // -- analysis ----------------------------------------------------------------
+  /// Timing yield Y(T) = P(circuit delay <= T) of the current state.
+  /// @p clock_period_ps 0 = resolve per FlowOptions::isle (explicit option,
+  /// then the installed SDC clock, then the surrogate fallback). @p engine
+  /// selects the estimator: "isle" (importance sampling, the default) or
+  /// "mc" (plain Monte Carlo through the same machinery — weights are 1 and
+  /// the draw budget/adaptive stopping behave identically, which makes the
+  /// two reports draw-for-draw comparable). Throws std::invalid_argument for
+  /// other names, std::logic_error when no circuit is loaded.
+  [[nodiscard]] YieldReport estimate_yield(double clock_period_ps = 0.0,
+                                           std::string_view engine = "isle") const;
   /// FULLSSTA-based summary of the current state.
   [[nodiscard]] opt::CircuitStats analyze() const;
   /// Full FULLSSTA result (pdfs, per-node moments).

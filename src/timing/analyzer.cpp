@@ -67,108 +67,9 @@ namespace {
 
 using netlist::GateId;
 
-/// The generic transactional fallback: score() applies the resizes, re-runs
-/// the engine from scratch, and reverts — exact by construction, but it
-/// mutates the shared TimingContext, so engines built on it report
-/// concurrent_speculations = false and must be scored serially.
-class SerializedSpeculation final : public Speculation {
- public:
-  using Compute = std::function<Summary(sta::TimingContext&)>;
-
-  SerializedSpeculation(BoundAnalyzer& owner, sta::TimingContext& ctx,
-                        std::function<void(Summary)> install, Compute compute,
-                        std::span<const Resize> resizes)
-      : owner_(owner), ctx_(ctx), install_(std::move(install)), compute_(std::move(compute)),
-        epoch_(owner.epoch()) {
-    resizes_.assign(resizes.begin(), resizes.end());
-    old_sizes_.reserve(resizes_.size());
-    for (const Resize& r : resizes_) {
-      old_sizes_.push_back(ctx_.netlist().gate(r.gate).size_index);
-    }
-  }
-
-  const Summary& score() override {
-    if (scored_) return result_;  // cached scores stay readable after invalidation
-    owner_.guard_epoch(epoch_);
-    apply();
-    try {
-      ctx_.update();
-      result_ = compute_(ctx_);
-    } catch (...) {
-      // The transactional contract: score() must never leak the speculative
-      // state, even when the engine throws mid-evaluation.
-      revert();
-      ctx_.update();
-      throw;
-    }
-    revert();
-    ctx_.update();  // pure function of the (restored) sizes: bitwise no-op
-    scored_ = true;
-    return result_;
-  }
-
-  void commit() override {
-    if (committed_) return;  // uniform contract: a second commit is a no-op
-    owner_.guard_epoch(epoch_);
-    if (!scored_) (void)score();  // the base refresh reuses the scored summary
-    apply();
-    ctx_.update();
-    install_(result_);  // bumps the epoch, invalidating siblings
-    committed_ = true;
-  }
-
-  void rollback() override {}  // score() reverted eagerly; nothing was shared
-
- private:
-  void apply() {
-    auto& nl = ctx_.mutable_netlist();
-    for (const Resize& r : resizes_) nl.gate(r.gate).size_index = r.size;
-  }
-  void revert() {
-    auto& nl = ctx_.mutable_netlist();
-    for (std::size_t i = 0; i < resizes_.size(); ++i) {
-      nl.gate(resizes_[i].gate).size_index = old_sizes_[i];
-    }
-  }
-
-  BoundAnalyzer& owner_;
-  sta::TimingContext& ctx_;
-  std::function<void(Summary)> install_;
-  Compute compute_;
-  std::uint64_t epoch_ = 0;
-  std::vector<std::uint16_t> old_sizes_;  ///< pre-propose sizes, for revert()
-  Summary result_;
-  bool scored_ = false;
-  bool committed_ = false;
-};
-
-/// Adapter base for engines whose what-if goes through the serialized
-/// fallback. Subclasses supply compute() (a from-scratch run).
-class SerializedAnalyzer : public BoundAnalyzer {
- public:
-  const Summary& analyze(sta::TimingContext& ctx) override {
-    ctx_ = &ctx;
-    on_bind(ctx);
-    install_base(compute(ctx));
-    return current();
-  }
-
-  std::unique_ptr<Speculation> propose(netlist::GateId gate, std::uint16_t size) override {
-    const Resize r{gate, size};
-    return propose_resizes(std::span<const Resize>(&r, 1));
-  }
-
-  std::unique_ptr<Speculation> propose_resizes(std::span<const Resize> resizes) override {
-    validate_resizes(resizes);
-    return std::make_unique<SerializedSpeculation>(
-        *this, bound(), [this](Summary s) { install_base(std::move(s)); },
-        [this](sta::TimingContext& c) { return compute(c); }, resizes);
-  }
-
- protected:
-  virtual Summary compute(sta::TimingContext& ctx) = 0;
-  virtual void on_bind(sta::TimingContext&) {}
-};
+// The SerializedSpeculation / SerializedAnalyzer fallback plumbing lives in
+// analyzer_impl.h (detail) so out-of-file adapters — the ISLE engine in
+// isle_analyzer.cpp — can subclass it too.
 
 // ---------------------------------------------------------------------------
 // FASSTA and DSTA: exact incremental what-ifs over the shared ConeSnapshot.
@@ -536,6 +437,7 @@ struct Registry {
     factories.emplace("canonical", detail::make_canonical_analyzer);
     factories.emplace("dsta", detail::make_dsta_analyzer);
     factories.emplace("mc", detail::make_mc_analyzer);
+    factories.emplace("isle", detail::make_isle_analyzer);
   }
 
   static Registry& instance() {

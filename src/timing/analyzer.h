@@ -63,6 +63,7 @@
 #include "fassta/engine.h"
 #include "pdf/discrete_pdf.h"
 #include "ssta/fullssta.h"
+#include "ssta/isle.h"
 #include "ssta/monte_carlo.h"
 #include "sta/graph.h"
 
@@ -179,6 +180,9 @@ struct AnalyzerOptions {
   ssta::FullSstaOptions fullssta;
   fassta::EngineOptions fassta;
   ssta::MonteCarloOptions monte_carlo;
+  /// Importance-sampled yield engine ("isle"). Its clock_period_ps field
+  /// falls back to the shared clock_period_ps below when unset.
+  ssta::IsleOptions isle;
   /// Deterministic STA required-time reference (nullopt = zero-slack
   /// normalization at the observed max arrival).
   std::optional<double> clock_period_ps;
@@ -190,16 +194,18 @@ using AnalyzerFactory =
 /// Creates an analyzer by registry name. Built-ins: "fullssta" (discrete-pdf
 /// SSTA with the incremental what-if overlay), "fassta" (Clark-moment fast
 /// engine), "canonical" (correlation-aware first-order SSTA), "dsta"
-/// (deterministic STA; sigma = 0), "mc" (Monte Carlo). Throws
-/// std::invalid_argument for unknown names (message lists the known ones).
+/// (deterministic STA; sigma = 0), "mc" (Monte Carlo), "isle" (importance-
+/// sampled yield; summary carries the self-normalized weighted delay
+/// moments). Throws std::invalid_argument for unknown names (message lists
+/// the known ones).
 [[nodiscard]] std::unique_ptr<Analyzer> make_analyzer(std::string_view name,
                                                       const AnalyzerOptions& options = {});
 
 /// Registered names, sorted. The conformance suite iterates this.
 [[nodiscard]] std::vector<std::string> analyzer_names();
 
-/// Registers an additional backend (future: canonical, ISLE sampling,
-/// remote). Returns false if the name is already taken.
+/// Registers an additional backend. Returns false if the name is already
+/// taken.
 bool register_analyzer(std::string name, AnalyzerFactory factory);
 
 }  // namespace statsizer::timing

@@ -12,6 +12,7 @@
 // circuits from sizer_parallel_test, concurrent speculative scoring is
 // thread-count-invariant, and a committed overlay equals the from-scratch
 // run (arrival moments, output pdf, mean, sigma).
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -23,6 +24,7 @@
 #include "opt/initial_sizing.h"
 #include "opt/sizer_statistical.h"
 #include "ssta/fullssta.h"
+#include "ssta/isle.h"
 #include "techmap/mapper.h"
 #include "timing/analyzer.h"
 #include "util/thread_pool.h"
@@ -123,7 +125,8 @@ class AnalyzerConformance : public ::testing::TestWithParam<std::string> {};
 TEST_P(AnalyzerConformance, AnalyzeProducesCapabilityConsistentSummary) {
   Bench b(circuits::make_cla_adder(4));
   AnalyzerOptions opt;
-  opt.monte_carlo.samples = 400;  // keep the sampling engine test-sized
+  opt.monte_carlo.samples = 400;  // keep the sampling engines test-sized
+  opt.isle.samples = 400;
   auto an = make_analyzer(GetParam(), opt);
   EXPECT_EQ(an->name(), GetParam());
   EXPECT_THROW((void)an->current(), std::logic_error);
@@ -146,6 +149,7 @@ TEST_P(AnalyzerConformance, RollbackRestoresBitwiseIdenticalState) {
   Bench b(circuits::make_cla_adder(4));
   AnalyzerOptions opt;
   opt.monte_carlo.samples = 400;
+  opt.isle.samples = 400;
   auto an = make_analyzer(GetParam(), opt);
   if (!an->capabilities().what_if) GTEST_SKIP() << "engine has no what-if";
 
@@ -171,6 +175,7 @@ TEST_P(AnalyzerConformance, RollbackRestoresBitwiseIdenticalState) {
 TEST_P(AnalyzerConformance, CommittedSpeculationEqualsFromScratchAnalysis) {
   AnalyzerOptions opt;
   opt.monte_carlo.samples = 400;
+  opt.isle.samples = 400;
   auto an = make_analyzer(GetParam(), opt);
   if (!an->capabilities().what_if) GTEST_SKIP() << "engine has no what-if";
 
@@ -203,6 +208,7 @@ TEST_P(AnalyzerConformance, CommittedSpeculationEqualsFromScratchAnalysis) {
 TEST_P(AnalyzerConformance, CommitInvalidatesSiblingSpeculations) {
   AnalyzerOptions opt;
   opt.monte_carlo.samples = 400;
+  opt.isle.samples = 400;
   auto an = make_analyzer(GetParam(), opt);
   if (!an->capabilities().what_if) GTEST_SKIP() << "engine has no what-if";
 
@@ -226,6 +232,7 @@ TEST_P(AnalyzerConformance, CommitInvalidatesSiblingSpeculations) {
 TEST_P(AnalyzerConformance, ProposeValidatesArguments) {
   AnalyzerOptions opt;
   opt.monte_carlo.samples = 400;
+  opt.isle.samples = 400;
   auto an = make_analyzer(GetParam(), opt);
   if (!an->capabilities().what_if) GTEST_SKIP() << "engine has no what-if";
 
@@ -252,7 +259,7 @@ INSTANTIATE_TEST_SUITE_P(Registry, AnalyzerConformance,
 
 TEST(AnalyzerRegistry, KnowsTheBuiltins) {
   const auto names = analyzer_names();
-  for (const char* expected : {"canonical", "dsta", "fassta", "fullssta", "mc"}) {
+  for (const char* expected : {"canonical", "dsta", "fassta", "fullssta", "isle", "mc"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
   }
   EXPECT_THROW((void)make_analyzer("no-such-engine"), std::invalid_argument);
@@ -433,6 +440,86 @@ TEST(EngineSelection, SizerRejectsIncapableOrUnknownEngines) {
   opt.score_engine = "dsta";
   opt.scoring = opt::InnerScoring::kSubcircuit;  // needs the fassta kernel
   EXPECT_THROW((void)opt::size_statistically(*b.ctx, opt), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ISLE degenerate-weights stress: the estimator must flag, not fabricate.
+// ---------------------------------------------------------------------------
+
+TEST(IsleDegeneracy, VanishingVariationTripsTheClampFlag) {
+  // With zero proportional variation and zero floor every path sigma
+  // vanishes: no finite mean shift exists and the proposal must mark itself
+  // degenerate rather than divide by ~0.
+  Netlist nl = circuits::make_cla_adder(4);
+  const liberty::Library lib = liberty::build_synthetic_90nm();
+  variation::VariationParams vp;
+  vp.proportional_coeff = 0.0;
+  vp.random_floor_ps = 0.0;
+  const variation::VariationModel var(vp);
+  auto s = techmap::map_to_library(nl, lib);
+  ASSERT_TRUE(s.ok());
+  const sta::TimingContext ctx(nl, lib, var, sta::TimingOptions{});
+
+  ssta::IsleOptions opt;
+  opt.samples = 256;
+  const ssta::IsleResult r = ssta::run_isle(ctx, opt);
+  EXPECT_TRUE(r.shift_clamped);
+  EXPECT_TRUE(r.degenerate);
+}
+
+TEST(IsleDegeneracy, ExtremeLambdaClampsTheShift) {
+  // A constraint dozens of sigma out forces |beta| past max_shift: the clamp
+  // fires and the result is flagged degenerate even though sampling ran.
+  Bench b(circuits::make_cla_adder(4));
+  ssta::IsleOptions opt;
+  opt.samples = 256;
+  const ssta::IsleResult probe = ssta::run_isle(*b.ctx, opt);
+  ASSERT_GT(probe.surrogate_sigma_ps, 0.0);
+
+  opt.clock_period_ps = probe.surrogate_mean_ps + 50.0 * probe.surrogate_sigma_ps;
+  const ssta::IsleResult r = ssta::run_isle(*b.ctx, opt);
+  EXPECT_TRUE(r.shift_clamped);
+  EXPECT_TRUE(r.degenerate);
+  EXPECT_EQ(std::abs(r.shift_beta), opt.max_shift);
+}
+
+TEST(IsleDegeneracy, CollapsedEssTripsWithoutTheDefensiveComponent) {
+  // defensive_fraction = 0 removes the weight bound: under a pure shifted
+  // proposal at a deep shift, E_f[w] = exp(beta^2) makes the effective sample
+  // size collapse to ~ N * exp(-beta^2) — the ESS trip-wire must catch it.
+  Bench b(circuits::make_cla_adder(4));
+  ssta::IsleOptions opt;
+  opt.samples = 2048;
+  opt.defensive_fraction = 0.0;
+  opt.dominant_paths = 1;
+  const ssta::IsleResult probe = ssta::run_isle(*b.ctx, opt);
+  ASSERT_GT(probe.surrogate_sigma_ps, 0.0);
+
+  opt.clock_period_ps = probe.surrogate_mean_ps + 4.0 * probe.surrogate_sigma_ps;
+  const ssta::IsleResult r = ssta::run_isle(*b.ctx, opt);
+  ASSERT_FALSE(r.shift_clamped);  // beta = 4 < max_shift: a genuine ESS trip
+  EXPECT_LT(r.ess, double(r.draws) * opt.min_ess_fraction);
+  EXPECT_TRUE(r.degenerate);
+}
+
+TEST(EngineSelection, SizerValidatesYieldTargetConfiguration) {
+  Bench b(circuits::make_ripple_adder(4));
+  opt::StatisticalSizerOptions opt;
+  opt.max_iterations = 1;
+  opt.target_yield = 0.5;
+  opt.yield_engine = "no-such-engine";
+  EXPECT_THROW((void)opt::size_statistically(*b.ctx, opt), std::invalid_argument);
+  opt.yield_engine = "isle";  // no clock period anywhere: cannot evaluate yield
+  EXPECT_THROW((void)opt::size_statistically(*b.ctx, opt), std::invalid_argument);
+
+  // With a clock the loop runs and reports the final yield + draw total.
+  const ssta::FullSstaResult full = ssta::run_fullssta(*b.ctx);
+  opt.isle.clock_period_ps = full.mean_ps + 3.0 * full.sigma_ps;
+  opt.isle.samples = 256;
+  const auto stats = opt::size_statistically(*b.ctx, opt);
+  EXPECT_GE(stats.final_yield, 0.0);
+  EXPECT_LE(stats.final_yield, 1.0);
+  EXPECT_GT(stats.yield_draws, 0u);
 }
 
 TEST(EngineSelection, FlowMakeAnalyzerUsesFlowOptions) {

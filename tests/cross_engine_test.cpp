@@ -19,6 +19,7 @@
 #include "fassta/engine.h"
 #include "liberty/synthetic.h"
 #include "ssta/fullssta.h"
+#include "ssta/isle.h"
 #include "ssta/monte_carlo.h"
 #include "techmap/mapper.h"
 
@@ -91,6 +92,52 @@ TEST(CrossEngine, FasstaTracksFullSsta) {
     const double ratio = t.fassta.sigma_ps / t.full.sigma_ps;
     EXPECT_GE(ratio, 0.95) << "seed=" << seed;
     EXPECT_LE(ratio, 1.05) << "seed=" << seed;
+  }
+}
+
+TEST(CrossEngine, IsleYieldTracksMonteCarlo) {
+  // Same-context drift guard for the importance-sampled yield engine: on the
+  // five random DAGs, ISLE's yield at T = mean + 1.5 sigma must match the
+  // empirical Monte-Carlo yield. Both samplers draw from the identical
+  // truncated variation model, so the only budget beyond the two standard
+  // errors is 0.01 for empirical-CDF discreteness at the threshold (ties and
+  // finite-sample staircase), not a model-bias term.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    circuits::RandomDagOptions ro;
+    ro.seed = seed;
+    netlist::Netlist nl = circuits::make_random_dag(ro);
+    const liberty::Library lib = liberty::build_synthetic_90nm();
+    variation::VariationParams vp;
+    vp.proportional_coeff = 0.15;
+    const variation::VariationModel var(vp);
+    auto s = techmap::map_to_library(nl, lib);
+    if (!s.ok()) throw std::logic_error(s.message());
+    const sta::TimingContext ctx(nl, lib, var, sta::TimingOptions{});
+
+    ssta::MonteCarloOptions mo;
+    mo.samples = 2000;
+    mo.seed = 1000 + seed;
+    mo.threads = 0;
+    const ssta::MonteCarloResult mc = ssta::run_monte_carlo(ctx, mo);
+
+    const double period = mc.mean_ps + 1.5 * mc.sigma_ps;
+    std::size_t pass = 0;
+    for (const double d : mc.circuit_samples) pass += (d <= period) ? 1u : 0u;
+    const double mc_yield = double(pass) / double(mo.samples);
+    const double mc_se = std::sqrt(mc_yield * (1.0 - mc_yield) / double(mo.samples));
+
+    ssta::IsleOptions io;
+    io.samples = 1024;
+    io.seed = 9000 + seed;
+    io.threads = 0;
+    io.clock_period_ps = period;
+    const ssta::IsleResult isle = ssta::run_isle(ctx, io);
+
+    ASSERT_FALSE(isle.degenerate) << "seed=" << seed;
+    const double bound =
+        3.0 * std::sqrt(isle.std_error * isle.std_error + mc_se * mc_se) + 0.01;
+    EXPECT_LT(std::abs(isle.yield - mc_yield), bound)
+        << "seed=" << seed << " isle=" << isle.yield << " mc=" << mc_yield;
   }
 }
 
