@@ -4,6 +4,25 @@
 #   scripts/check.sh                 # RelWithDebInfo build + ctest
 #   scripts/check.sh --asan          # additionally run the fast tests under
 #                                    # AddressSanitizer + UBSan
+#   scripts/check.sh --tsan          # additionally run the concurrency suites
+#                                    # (wavefront update/FULLSSTA, parallel
+#                                    # sizer/recovery/MC/ISLE, analyzer
+#                                    # conformance, pool primitives) under
+#                                    # ThreadSanitizer with scripts/tsan.supp
+#   scripts/check.sh --paranoid      # additionally build with
+#                                    # -DSTATSIZER_PARANOID=ON (deep invariant
+#                                    # validators compiled into the hot paths)
+#                                    # and run the fast tests against it
+#   scripts/check.sh --lint          # run the determinism linter self-test,
+#                                    # then lint src/ (scripts/
+#                                    # lint_determinism.py)
+#   scripts/check.sh --tidy          # clang-tidy over the library sources
+#                                    # (.clang-tidy); skipped with a warning
+#                                    # when clang-tidy is not installed
+#   scripts/check.sh --format        # clang-format --dry-run diff gate over
+#                                    # tracked C++ sources (.clang-format);
+#                                    # skipped with a warning when
+#                                    # clang-format is not installed
 #   scripts/check.sh --table1-smoke  # additionally run
 #                                    # bench_table1 --quick --threads 2 as a
 #                                    # post-ctest end-to-end smoke check
@@ -32,48 +51,121 @@ run_suite() {
 }
 
 ASAN=0
+TSAN=0
+PARANOID=0
+LINT=0
+TIDY=0
+FORMAT=0
 SMOKE=0
 PARSER=0
 YIELD=0
 for arg in "$@"; do
   case "${arg}" in
     --asan) ASAN=1 ;;
+    --tsan) TSAN=1 ;;
+    --paranoid) PARANOID=1 ;;
+    --lint) LINT=1 ;;
+    --tidy) TIDY=1 ;;
+    --format) FORMAT=1 ;;
     --table1-smoke) SMOKE=1 ;;
     --parser-smoke) PARSER=1 ;;
     --yield-smoke) YIELD=1 ;;
     *)
-      echo "usage: scripts/check.sh [--asan] [--table1-smoke] [--parser-smoke] [--yield-smoke]" >&2
+      echo "usage: scripts/check.sh [--asan] [--tsan] [--paranoid] [--lint] [--tidy]" \
+           "[--format] [--table1-smoke] [--parser-smoke] [--yield-smoke]" >&2
       exit 2
       ;;
   esac
 done
 
+# The static gates run first: they are cheap and fail fastest.
+if [[ "${LINT}" == 1 ]]; then
+  echo "check.sh: determinism lint (self-test + src/)"
+  python3 scripts/lint_determinism.py --self-test
+  python3 scripts/lint_determinism.py
+fi
+
+if [[ "${FORMAT}" == 1 ]]; then
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "check.sh: clang-format diff gate"
+    git ls-files 'src/*.h' 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp' \
+      | xargs clang-format --dry-run -Werror
+  else
+    echo "check.sh: WARNING: clang-format not installed; format gate SKIPPED" >&2
+  fi
+fi
+
+# Fast-test filter shared by the sanitized and paranoid passes (the long
+# end-to-end flows are covered by the normal build; instrumented they would
+# dominate the wall clock). SizerParallel stays in: it exercises the
+# concurrent candidate-scoring kernel, per-worker scratch reuse, AND the
+# parallel speculative what-if confirmations — exactly where memory bugs
+# would surface — at ~10 s sanitized. AnalyzerConformance/FullSstaWhatIf stay
+# in too: the overlay engine's private-state discipline is what the sanitizer
+# should see. AreaRecovery{Parallel,Equivalence,Rollback,Options} stay in as
+# well: the screening waves' per-speculation overlays, the incremental
+# snapshot patching (TimingContext::apply_snapshot_patch), and the
+# chunk-rollback restore path are all concurrent-lifetime code the sanitizer
+# should walk. LevelizedUpdate/LevelizedWhatIf stay in too: the wavefront
+# update()/FULLSSTA/cone-replay kernels write shared preallocated arrays from
+# pool workers with level barriers between waves — exactly the code whose
+# races/overruns only a sanitized multithreaded run would catch.
+# IsleYield/IsleDegeneracy stay in too — the importance sampler's sharded
+# draw loop writes per-slot weight/delay vectors from pool workers — except
+# the mesh8 SDC point, whose 12.8k-gate Monte-Carlo reference would dominate
+# an instrumented run like the other excluded end-to-end flows.
+FAST_FILTER=(-E 'FlowRegression|Table1|StatisticalSizer|IsleYield.ResolvesSdcClockOnMesh8')
+
 CTEST_EXTRA=()
 run_suite build
 
 if [[ "${ASAN}" == 1 ]]; then
-  # Sanitized pass over the fast tests (the long end-to-end flows are covered
-  # by the normal build; under ASan they would dominate the wall clock).
-  # SizerParallel stays in: it exercises the concurrent candidate-scoring
-  # kernel, per-worker scratch reuse, AND the parallel speculative what-if
-  # confirmations — exactly where memory bugs would surface — at ~10 s
-  # sanitized. AnalyzerConformance/FullSstaWhatIf stay in too: the overlay
-  # engine's private-state discipline is what the sanitizer should see.
-  # AreaRecovery{Parallel,Equivalence,Rollback,Options} stay in as well: the
-  # screening waves' per-speculation overlays, the incremental snapshot
-  # patching (TimingContext::apply_snapshot_patch), and the chunk-rollback
-  # restore path are all concurrent-lifetime code the sanitizer should walk.
-  # LevelizedUpdate/LevelizedWhatIf stay in too: the wavefront update()/
-  # FULLSSTA/cone-replay kernels write shared preallocated arrays from pool
-  # workers with level barriers between waves — exactly the code whose
-  # races/overruns only a sanitized multithreaded run would catch.
-  # IsleYield/IsleDegeneracy stay in too — the importance sampler's sharded
-  # draw loop writes per-slot weight/delay vectors from pool workers — except
-  # the mesh8 SDC point, whose 12.8k-gate Monte-Carlo reference would
-  # dominate a sanitized run like the other excluded end-to-end flows.
-  CTEST_EXTRA=(-E 'FlowRegression|Table1|StatisticalSizer|IsleYield.ResolvesSdcClockOnMesh8')
-  run_suite build-asan -DSTATSIZER_SANITIZE=ON -DSTATSIZER_BUILD_BENCHES=OFF \
+  CTEST_EXTRA=("${FAST_FILTER[@]}")
+  run_suite build-asan -DSTATSIZER_SANITIZE=address -DSTATSIZER_BUILD_BENCHES=OFF \
     -DSTATSIZER_BUILD_EXAMPLES=OFF
+fi
+
+if [[ "${TSAN}" == 1 ]]; then
+  # Race-check the code that actually runs concurrently: the parallel_for /
+  # ThreadPool primitives, the wavefront propagation kernels, the parallel
+  # speculative scoring waves of the sizer and area recovery, the sharded
+  # MC/ISLE draw loops, and the analyzer conformance suite (which drives
+  # concurrent speculations through every engine). TSan detects races through
+  # happens-before analysis, so findings do not depend on the host's core
+  # count. scripts/tsan.supp documents every tolerated report (currently
+  # none); halt_on_error makes any unsuppressed report fail the run loudly.
+  echo "check.sh: tsan pass (concurrency suites)"
+  CTEST_EXTRA=(
+    -R 'AnalyzerRegistry|EngineSelection|IsleDegeneracy|LevelizedUpdate|LevelizedWhatIf|SizerParallel|AreaRecovery|MonteCarloParallel|ParallelFor|StreamSeed|ThreadPool|IsleYield'
+    -E 'IsleYield.ResolvesSdcClockOnMesh8'
+  )
+  export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp halt_on_error=1 second_deadlock_stack=1"
+  run_suite build-tsan -DSTATSIZER_SANITIZE=thread -DSTATSIZER_BUILD_BENCHES=OFF \
+    -DSTATSIZER_BUILD_EXAMPLES=OFF
+  unset TSAN_OPTIONS
+fi
+
+if [[ "${PARANOID}" == 1 ]]; then
+  # Deep invariant validators compiled into the hot paths (util/check.h,
+  # debug/validate.h): levelization + load-term CSR audits on every
+  # update(), pdf normalization/CDF monotonicity on every sum/max, epoch
+  # discipline in the analyzer layer. The corruption-seeding tests in
+  # paranoid_check_test verify each validator trips; this pass verifies the
+  # *clean* code never trips one.
+  echo "check.sh: paranoid pass (STATSIZER_PARANOID=ON, fast tests)"
+  CTEST_EXTRA=("${FAST_FILTER[@]}")
+  run_suite build-paranoid -DSTATSIZER_PARANOID=ON -DSTATSIZER_BUILD_BENCHES=OFF \
+    -DSTATSIZER_BUILD_EXAMPLES=OFF
+fi
+
+if [[ "${TIDY}" == 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "check.sh: clang-tidy gate (.clang-tidy over src/)"
+    # compile_commands.json is exported by the main configure above.
+    git ls-files 'src/*.cpp' | xargs clang-tidy -p build --quiet
+  else
+    echo "check.sh: WARNING: clang-tidy not installed; tidy gate SKIPPED" >&2
+  fi
 fi
 
 if [[ "${SMOKE}" == 1 ]]; then

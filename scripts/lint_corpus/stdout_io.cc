@@ -1,0 +1,38 @@
+// Corpus: stdout-io must fire on every direct console-I/O pattern in library
+// code, and stay silent on snprintf-into-buffer formatting.
+#include <cstdio>
+#include <iostream>  // expect-lint: stdout-io
+#include <string>
+
+void cout_use(const std::string& msg) {
+  std::cout << msg << "\n";  // expect-lint: stdout-io
+}
+
+void cerr_use(const std::string& msg) {
+  std::cerr << msg << "\n";  // expect-lint: stdout-io
+}
+
+void printf_use(int x) {
+  printf("%d\n", x);  // expect-lint: stdout-io
+}
+
+void fprintf_use(int x) {
+  fprintf(stderr, "%d\n", x);  // expect-lint: stdout-io
+}
+
+void puts_use() {
+  puts("hello");  // expect-lint: stdout-io
+}
+
+// Formatting into a caller-provided buffer is allowed (liberty/writer.cpp,
+// util/table.cpp do exactly this).
+std::string snprintf_is_fine(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+// Waived: e.g. a temporary dump behind a debug flag, justified inline.
+void waived_dump(int x) {
+  fprintf(stderr, "dbg %d\n", x);  // lint-ok: stdout-io corpus example of a justified waiver
+}

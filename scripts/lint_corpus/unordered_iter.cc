@@ -1,0 +1,55 @@
+// Corpus: unordered-iter must fire on range-for over unordered containers —
+// locals, members, and parameters — and stay silent on ordered containers
+// and on waived membership loops.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int iterate_local(const std::vector<int>& keys) {
+  std::unordered_map<std::string, int> counts;
+  int total = 0;
+  for (const auto& [name, n] : counts) {  // expect-lint: unordered-iter
+    total += n;
+  }
+  for (const int k : keys) total += k;  // vectors are ordered: silent
+  return total;
+}
+
+struct Registry {
+  std::unordered_set<std::string> names_;
+
+  int size_via_iteration() const {
+    int n = 0;
+    for (const auto& name : names_) {  // expect-lint: unordered-iter
+      n += static_cast<int>(name.size());
+    }
+    return n;
+  }
+};
+
+int iterate_param(const std::unordered_map<std::string, int>& table) {
+  int total = 0;
+  for (const auto& [k, v] : table) {  // expect-lint: unordered-iter
+    total += v;
+  }
+  return total;
+}
+
+// Note the linter tracks names at file granularity: an ordered container
+// that *shares a name* with an unordered one elsewhere in the file would
+// false-positive (waive it). Distinct names are silent:
+int iterate_ordered(const std::map<std::string, int>& sorted_table) {
+  int total = 0;
+  for (const auto& [k, v] : sorted_table) total += v;  // ordered: silent
+  return total;
+}
+
+// Order-insensitive accumulation may be waived with a justification.
+int waived_count(const std::unordered_set<int>& s) {
+  int n = 0;
+  // lint-ok: unordered-iter pure count, result independent of bucket order
+  for (const int x : s) n += (x > 0);
+  return n;
+}

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "debug/validate.h"
+#include "util/check.h"
 #include "util/numeric.h"
 
 namespace statsizer::pdf {
@@ -212,8 +214,12 @@ DiscretePdf sum(const DiscretePdf& x, const DiscretePdf& y, std::size_t samples)
     }
   }
   // Independence: exact result moments are known — pin them.
-  return moment_matched(DiscretePdf::from_masses(lo, step, std::move(bins)), mu,
-                        x.variance() + y.variance());
+  DiscretePdf r = moment_matched(DiscretePdf::from_masses(lo, step, std::move(bins)), mu,
+                                 x.variance() + y.variance());
+  if constexpr (debug::kParanoid) {
+    debug::validate_pdf(r);
+  }
+  return r;
 }
 
 DiscretePdf max(const DiscretePdf& x, const DiscretePdf& y, std::size_t samples) {
@@ -263,7 +269,11 @@ DiscretePdf max(const DiscretePdf& x, const DiscretePdf& y, std::size_t samples)
   const double lo = std::max(lo_support, e1 - kGridSpanSigmas * sd);
   const double hi = std::min(hi_support, e1 + kGridSpanSigmas * sd);
   if (hi <= lo) return DiscretePdf::point(e1);
-  return moment_matched(eval(lo, hi), e1, var);
+  DiscretePdf r = moment_matched(eval(lo, hi), e1, var);
+  if constexpr (debug::kParanoid) {
+    debug::validate_pdf(r);
+  }
+  return r;
 }
 
 }  // namespace statsizer::pdf

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "debug/validate.h"
+#include "util/check.h"
+
 namespace statsizer::ssta {
 
 using netlist::GateId;
@@ -10,6 +13,10 @@ using pdf::DiscretePdf;
 FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions& options) {
   const auto& nl = ctx.netlist();
   const std::size_t samples = options.samples_per_pdf;
+
+  if constexpr (debug::kParanoid) {
+    debug::validate_structure_fresh(nl, ctx.levelization());
+  }
 
   FullSstaResult result;
   result.node.assign(nl.node_count(), sta::NodeMoments{});
@@ -40,6 +47,11 @@ FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions
       const DiscretePdf through = pdf::sum(arrival[g.fanins[i]], delay, samples);
       acc = (i == 0) ? through : pdf::max(acc, through, samples);
     }
+    if constexpr (debug::kParanoid) {
+      // Exceptions from a wavefront worker are captured and rethrown on the
+      // calling thread by parallel_for, so the audit is safe in both modes.
+      debug::validate_pdf(acc);
+    }
     result.node[id] = sta::NodeMoments{acc.mean(), acc.stddev()};
     arrival[id] = std::move(acc);
   };
@@ -68,6 +80,9 @@ FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions
   for (const auto& po : nl.outputs()) {
     out = first ? arrival[po.driver] : pdf::max(out, arrival[po.driver], samples);
     first = false;
+  }
+  if constexpr (debug::kParanoid) {
+    debug::validate_pdf(out);
   }
   result.output_pdf = std::move(out);
   result.mean_ps = result.output_pdf.mean();

@@ -80,13 +80,16 @@ MonteCarloResult run_monte_carlo(const sta::TimingContext& ctx,
         }
         if (options.per_node_stats) {
           const std::lock_guard<std::mutex> lock(merge_mutex);
+          // lint-ok: shared-mutable-capture merge_mutex serializes this block; folds run in ascending chunk order, so the result is thread-count-invariant
           pending.emplace(chunk, std::move(local_node_stats));
           while (!pending.empty() && pending.begin()->first == next_merge_chunk) {
             const auto& ready = pending.begin()->second;
             for (GateId id = 0; id < nl.node_count(); ++id) {
               node_stats[id].merge(ready[id]);
             }
+            // lint-ok: shared-mutable-capture same critical section as above
             pending.erase(pending.begin());
+            // lint-ok: shared-mutable-capture same critical section as above
             ++next_merge_chunk;
           }
         }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "debug/validate.h"
 #include "netlist/topo.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace statsizer::sta {
@@ -104,6 +106,14 @@ void TimingContext::update() {
         "TimingContext::update: netlist structure changed after construction "
         "(build a fresh TimingContext)");
   }
+  if constexpr (debug::kParanoid) {
+    // Deep audits of the frozen derived structure (the cheap version-counter
+    // check above catches tracked mutations; these catch corruption of the
+    // caches themselves).
+    debug::validate_structure_fresh(nl_, levels_);
+    debug::validate_levelization(nl_, levels_);
+    debug::validate_load_terms(nl_, load_term_offset_, load_terms_);
+  }
   const std::size_t n = nl_.node_count();
   load_.assign(n, 0.0);
   slew_.assign(n, options_.primary_input_slew_ps);
@@ -183,6 +193,15 @@ void TimingContext::apply_snapshot_patch(std::span<const std::uint8_t> dirty,
                                          std::span<const double> arc_delay,
                                          std::span<const double> arc_sigma) {
   const std::size_t n = nl_.node_count();
+  if constexpr (debug::kParanoid) {
+    debug::validate_structure_fresh(nl_, levels_);
+    STATSIZER_PARANOID_CHECK(dirty.size() == n && load_dirty.size() == n &&
+                                 load.size() == n && slew.size() == n &&
+                                 arc_delay.size() == arc_count() &&
+                                 arc_sigma.size() == arc_count(),
+                             "apply_snapshot_patch",
+                             "patch spans do not match the snapshot's node/arc shape");
+  }
   for (GateId id = 0; id < n; ++id) {
     if (load_dirty[id]) load_[id] = load[id];
     if (!dirty[id]) continue;

@@ -10,7 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "debug/validate.h"
 #include "timing/analyzer.h"
+#include "util/check.h"
 
 namespace statsizer::timing::detail {
 
@@ -31,6 +33,11 @@ class BoundAnalyzer : public Analyzer {
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   void guard_epoch(std::uint64_t speculation_epoch) const {
+    if constexpr (debug::kParanoid) {
+      // A stamp *ahead* of the analyzer epoch can never come from correct
+      // bookkeeping (stale stamps are the caller error handled below).
+      debug::validate_epoch(name(), speculation_epoch, epoch_);
+    }
     if (speculation_epoch != epoch_) {
       throw std::logic_error(std::string(name()) +
                              ": speculation invalidated by a commit or re-analyze");

@@ -1,0 +1,11 @@
+#include "util/check.h"
+
+#include <stdexcept>
+
+namespace statsizer::debug {
+
+void check_fail(const char* where, const std::string& what) {
+  throw std::logic_error(std::string("paranoid: ") + where + ": " + what);
+}
+
+}  // namespace statsizer::debug

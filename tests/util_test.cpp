@@ -1,9 +1,13 @@
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "util/log.h"
 #include "util/numeric.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/table.h"
 
 namespace statsizer::util {
@@ -298,6 +302,114 @@ TEST(Table, Formatters) {
   EXPECT_EQ(fmt(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_pct(0.54, 0), "+54 %");
   EXPECT_EQ(fmt_pct(-0.123, 1), "-12.3 %");
+}
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr error propagation
+// ---------------------------------------------------------------------------
+
+TEST(Status, DefaultIsOkWithEmptyMessage) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  const Status s = Status::error("line 12: unknown gate type 'XNAND'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "line 12: unknown gate type 'XNAND'");
+}
+
+TEST(Status, CopyPreservesState) {
+  const Status e = Status::error("boom");
+  const Status copy = e;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+TEST(StatusOr, ValueSideIsOk) {
+  const StatusOr<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusOr, ErrorSideIsNotOk) {
+  const StatusOr<int> r = Status::error("parse failed");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_EQ(r.status().message(), "parse failed");
+}
+
+TEST(StatusOr, ArrowAndMutableAccess) {
+  StatusOr<std::string> r = std::string("abc");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  r.value() += "d";
+  EXPECT_EQ(*r, "abcd");
+}
+
+TEST(StatusOr, RvalueValueMovesOut) {
+  StatusOr<std::string> r = std::string("payload");
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// leveled logging
+// ---------------------------------------------------------------------------
+
+/// Restores the process-global threshold so log tests cannot leak state into
+/// each other (the default is kWarn — see util/log.cpp).
+struct LogLevelGuard {
+  LogLevel saved = log_level();
+  ~LogLevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, ThresholdRoundTrips) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, LineFormatAndThresholding) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "below threshold");   // dropped
+  log_line(LogLevel::kWarn, "at threshold");      // emitted
+  log_line(LogLevel::kError, "above threshold");  // emitted
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[warn] at threshold\n[error] above threshold\n");
+}
+
+TEST(Log, OffSilencesEverything) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kError, "should not appear");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, StreamMacroEmitsOnDestruction) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  STATSIZER_WARN() << "gate " << 7 << " exceeded slew by " << 1.5 << " ps";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[warn] gate 7 exceeded slew by 1.5 ps\n");
+}
+
+TEST(Log, SuppressedStreamProducesNoOutput) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  STATSIZER_DEBUG() << "optimizer pass " << 3;
+  STATSIZER_INFO() << "mapped " << 128 << " gates";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
 }
 
 }  // namespace
