@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/flow.h"
+#include "drc/drc.h"
 #include "fassta/engine.h"
 #include "ssta/canonical.h"
 #include "ssta/fullssta.h"
@@ -437,6 +438,29 @@ void BM_IsleYield(benchmark::State& state, const std::string& name) {
 
 /// The same adaptive loop with the nominal proposal (= plain Monte Carlo,
 /// bitwise; see IsleYield.NominalProposalIsBitwisePlainMonteCarlo): the
+/// Full static design-rule sweep (structural + binding + electrical + SDC
+/// screen): state.range(0) worker threads for the electrical wavefront, with
+/// a one-shot check that the parallel diagnostic vector is identical to the
+/// serial one (the DRC determinism contract).
+void BM_DrcFullSweep(benchmark::State& state, const std::string& name) {
+  auto& flow = raw_flow_for(name, 1);
+  drc::DrcOptions opt;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  drc::DrcOptions serial = opt;
+  serial.threads = 1;
+  const drc::DrcReport reference = drc::run_drc(flow.timing(), serial);
+  const drc::DrcReport parallel = drc::run_drc(flow.timing(), opt);
+  if (parallel.diagnostics != reference.diagnostics) {
+    state.SkipWithError("parallel DRC sweep diverged from the serial reference");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drc::run_drc(flow.timing(), opt));
+  }
+  state.SetLabel(std::to_string(flow.netlist().logic_gate_count()) + " gates, " +
+                 std::to_string(reference.diagnostics.size()) + " findings");
+}
+
 /// draws-to-target-CI baseline ISLE is measured against.
 void BM_PlainMcYield(benchmark::State& state, const std::string& name) {
   auto& flow = yield_flow_for(name);
@@ -522,6 +546,27 @@ BENCHMARK_CAPTURE(BM_FullSstaThreads, mesh8, std::string("mesh8"))
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+// Preflight cost on real workloads: the DRC must stay cheap enough to run
+// on every load. c880 is mostly below the parallel cutoff (serial path);
+// mesh8/mul64 exercise the wide-wavefront electrical sweep. The committed
+// snapshot point is scripts/bench_snapshot.sh BENCH_drc_sweep.json.
+BENCHMARK_CAPTURE(BM_DrcFullSweep, c880, std::string("c880"))
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DrcFullSweep, mesh8, std::string("mesh8"))
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DrcFullSweep, mul64, std::string("mul64"))
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 // Draws-to-target-CI head-to-head: both estimators run the identical
 // adaptive loop to the same standard-error target; the draws/yield_se
 // counters (not just the wall time) are the result. mesh8 is the committed

@@ -4,18 +4,28 @@
 //
 //   ingest <netlist.(bench|v)> [--sdc file.sdc] [--optimize lambda]
 //          [--out sized.v] [--threads n]
+//   ingest --lint <netlist.(bench|v)> [--sdc file.sdc] [--json] [--strict]
+//   ingest --lint --workload <name> [--json] [--strict]
 //
 // The netlist format is picked by extension: .bench (ISCAS, mapped with the
 // default mapper) or .v (structural Verilog, cell bindings adopted as-is).
 // Exits non-zero with the parser's line-numbered message on any malformed
 // input — scripts/check.sh --parser-smoke drives this binary over a corpus
 // of malformed files and expects exactly that.
+//
+// --lint runs the static design-rule sweep (src/drc) instead of the sizing
+// flow and prints every diagnostic with file:line provenance (--json for the
+// machine-readable form). Exit codes: 0 = clean or warnings only, 1 = any
+// error-severity finding (or unparseable input), 2 = usage; --strict
+// promotes warnings to exit 1. scripts/check.sh --drc drives this mode over
+// the semantic corpus and the builtin workloads.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/flow.h"
+#include "core/lint.h"
 #include "netlist/topo.h"
 #include "sta/dsta.h"
 
@@ -31,22 +41,51 @@ bool ends_with(const std::string& s, const char* suffix) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <netlist.(bench|v)> [--sdc file.sdc] [--optimize lambda] "
-               "[--out sized.v] [--threads n]\n",
-               argv0);
+               "[--out sized.v] [--threads n]\n"
+               "       %s --lint (<netlist.(bench|v)> | --workload name) [--sdc file.sdc] "
+               "[--json] [--strict] [--threads n]\n",
+               argv0, argv0);
   return 2;
+}
+
+int run_lint(const std::string& netlist_path, const std::string& workload,
+             const std::string& sdc_path, bool json, bool strict, std::size_t threads) {
+  core::LintOptions options;
+  options.drc.threads = threads;
+  options.sdc_path = sdc_path;
+  const core::LintResult result = workload.empty() ? core::lint_file(netlist_path, options)
+                                                   : core::lint_workload(workload, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status.message().c_str());
+    return 1;
+  }
+  if (json) {
+    std::fputs(drc::format_json(result.report).c_str(), stdout);
+  } else {
+    std::fputs(drc::format_text(result.report).c_str(), stdout);
+    std::printf("%zu error(s), %zu warning(s)\n", result.report.errors(),
+                result.report.warnings());
+  }
+  if (result.report.has_errors()) return 1;
+  if (strict && result.report.warnings() > 0) return 1;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
-  const std::string netlist_path = argv[1];
+  std::string netlist_path;
+  std::string workload;
   std::string sdc_path;
   std::string out_path;
   double lambda = 0.0;
   bool optimize = false;
+  bool lint = false;
+  bool json = false;
+  bool strict = false;
   std::size_t threads = 1;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--sdc" && i + 1 < argc) {
       sdc_path = argv[++i];
@@ -57,10 +96,25 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--workload" && i + 1 < argc) {
+      workload = argv[++i];
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (!arg.empty() && arg[0] != '-' && netlist_path.empty()) {
+      netlist_path = arg;
     } else {
       return usage(argv[0]);
     }
   }
+  if (lint) {
+    if (netlist_path.empty() == workload.empty()) return usage(argv[0]);
+    return run_lint(netlist_path, workload, sdc_path, json, strict, threads);
+  }
+  if (netlist_path.empty() || !workload.empty()) return usage(argv[0]);
 
   core::FlowOptions options;
   options.timing.threads = threads;

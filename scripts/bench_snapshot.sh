@@ -12,6 +12,10 @@
 # draws/yield_se counters are the draws-to-target-CI record):
 #   scripts/bench_snapshot.sh BENCH_isle_yield.json
 #
+# An output path matching *drc_sweep* defaults the filter to the full
+# design-rule sweep (BM_DrcFullSweep: preflight cost + wavefront scaling):
+#   scripts/bench_snapshot.sh BENCH_drc_sweep.json
+#
 # The JSON (google-benchmark schema: per-benchmark real_time / cpu_time plus
 # the run context) is the repo's perf trajectory — commit a snapshot per perf
 # PR so later sessions can diff kernels against it. Numbers are only
@@ -26,6 +30,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_update_levelized.json}"
 case "${OUT}" in
   *isle_yield*) DEFAULT_FILTER='BM_IsleYield|BM_PlainMcYield' ;;
+  *drc_sweep*) DEFAULT_FILTER='BM_DrcFullSweep' ;;
   *) DEFAULT_FILTER='BM_TimingUpdate|BM_UpdateThreads|BM_FullSstaThreads|BM_Fullssta/c880' ;;
 esac
 FILTER="${2:-${DEFAULT_FILTER}}"

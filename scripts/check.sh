@@ -34,6 +34,16 @@
 #                                    # yield cross-check (isle vs plain MC on
 #                                    # c432, tight draw budget) via
 #                                    # example_yield_quickstart --check
+#   scripts/check.sh --drc           # additionally drive example_ingest
+#                                    # --lint over the semantic DRC corpus
+#                                    # (every expect-drc marker must fire,
+#                                    # exit codes must match severity) and
+#                                    # over every builtin workload (must be
+#                                    # clean under --strict)
+#
+# CHECK_REQUIRE_TOOLS=1 turns the clang-tidy / clang-format "not installed,
+# gate SKIPPED" warnings into hard failures (for CI images that bake the
+# tools in).
 #
 # Flags compose. Exits non-zero on the first failing step.
 set -euo pipefail
@@ -59,6 +69,7 @@ FORMAT=0
 SMOKE=0
 PARSER=0
 YIELD=0
+DRC=0
 for arg in "$@"; do
   case "${arg}" in
     --asan) ASAN=1 ;;
@@ -70,9 +81,10 @@ for arg in "$@"; do
     --table1-smoke) SMOKE=1 ;;
     --parser-smoke) PARSER=1 ;;
     --yield-smoke) YIELD=1 ;;
+    --drc) DRC=1 ;;
     *)
       echo "usage: scripts/check.sh [--asan] [--tsan] [--paranoid] [--lint] [--tidy]" \
-           "[--format] [--table1-smoke] [--parser-smoke] [--yield-smoke]" >&2
+           "[--format] [--table1-smoke] [--parser-smoke] [--yield-smoke] [--drc]" >&2
       exit 2
       ;;
   esac
@@ -90,6 +102,9 @@ if [[ "${FORMAT}" == 1 ]]; then
     echo "check.sh: clang-format diff gate"
     git ls-files 'src/*.h' 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp' \
       | xargs clang-format --dry-run -Werror
+  elif [[ "${CHECK_REQUIRE_TOOLS:-0}" == 1 ]]; then
+    echo "check.sh: FAILED: clang-format not installed (CHECK_REQUIRE_TOOLS=1)" >&2
+    exit 1
   else
     echo "check.sh: WARNING: clang-format not installed; format gate SKIPPED" >&2
   fi
@@ -163,6 +178,9 @@ if [[ "${TIDY}" == 1 ]]; then
     echo "check.sh: clang-tidy gate (.clang-tidy over src/)"
     # compile_commands.json is exported by the main configure above.
     git ls-files 'src/*.cpp' | xargs clang-tidy -p build --quiet
+  elif [[ "${CHECK_REQUIRE_TOOLS:-0}" == 1 ]]; then
+    echo "check.sh: FAILED: clang-tidy not installed (CHECK_REQUIRE_TOOLS=1)" >&2
+    exit 1
   else
     echo "check.sh: WARNING: clang-tidy not installed; tidy gate SKIPPED" >&2
   fi
@@ -199,6 +217,53 @@ if [[ "${PARSER}" == 1 ]]; then
   # And the valid pairing netlist must still go through cleanly.
   ./build/example_ingest "${VALID_BENCH}" >/dev/null
   echo "check.sh: parser smoke ok ($(ls tests/corpus/malformed | wc -l) files)"
+fi
+
+if [[ "${DRC}" == 1 ]]; then
+  # Design-rule sweep through the real CLI. Two halves:
+  #   1. Semantic corpus: every `expect-drc: <rule-id>` marker in the file
+  #      must appear as [rule-id] in the lint output, and the exit code must
+  #      match the findings' severity (1 with error-severity findings, 0 for
+  #      warnings-only under the default non-strict mode).
+  #   2. Builtin workloads: all must lint clean even under --strict.
+  echo "check.sh: drc gate (tests/corpus/semantic + builtin workloads)"
+  VALID_BENCH=tests/corpus/valid_small.bench
+  for f in tests/corpus/semantic/*; do
+    case "${f}" in
+      *.sdc) args=(--lint "${VALID_BENCH}" --sdc "${f}") ;;
+      *)     args=(--lint "${f}") ;;
+    esac
+    set +e
+    out="$(./build/example_ingest "${args[@]}" 2>&1)"
+    rc=$?
+    set -e
+    if [[ "${rc}" -gt 1 ]]; then
+      echo "check.sh: drc gate FAILED: ${f} exited ${rc}" >&2
+      echo "${out}" >&2
+      exit 1
+    fi
+    while read -r rule; do
+      if ! grep -qF "[${rule}]" <<< "${out}"; then
+        echo "check.sh: drc gate FAILED: ${f} did not report [${rule}]" >&2
+        echo "${out}" >&2
+        exit 1
+      fi
+    done < <(grep -oE 'expect-drc: [a-z-]+' "${f}" | awk '{print $2}')
+    if grep -qE ': error: ' <<< "${out}"; then want=1; else want=0; fi
+    if [[ "${rc}" -ne "${want}" ]]; then
+      echo "check.sh: drc gate FAILED: ${f} exited ${rc} (want ${want})" >&2
+      echo "${out}" >&2
+      exit 1
+    fi
+  done
+  for w in alu1 alu2 alu3 c432 c499 c880 c1355 c1908 c2670 c3540 c5315 c6288 c7552 \
+           mul32 mul64 pipe64 mesh8; do
+    if ! ./build/example_ingest --lint --strict --workload "${w}" >/dev/null; then
+      echo "check.sh: drc gate FAILED: builtin workload ${w} is not DRC-clean" >&2
+      exit 1
+    fi
+  done
+  echo "check.sh: drc gate ok ($(ls tests/corpus/semantic | wc -l) corpus cases, 17 workloads)"
 fi
 
 if [[ "${YIELD}" == 1 ]]; then

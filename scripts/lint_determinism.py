@@ -38,6 +38,15 @@ break it before they ever reach a test:
                           (v[i] = ...) or into per-chunk locals merged after
                           the join.
 
+  throw-in-parallel       A throw expression inside an inline lambda handed
+                          to parallel_for / run_wavefront_level. An exception
+                          escaping a pool worker is std::terminate (and even
+                          a caught-and-rethrown one races the other workers
+                          for which failure wins), so the abort behavior
+                          depends on thread scheduling. Record the failure in
+                          a per-slot status and fail deterministically after
+                          the join.
+
 Waivers: append `// lint-ok: <rule-id> <justification>` to the offending
 line (or place it on the immediately preceding line). The justification is
 mandatory — a bare waiver is itself a finding.
@@ -60,7 +69,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-RULES = ("rng-stray", "unordered-iter", "stdout-io", "shared-mutable-capture")
+RULES = ("rng-stray", "unordered-iter", "stdout-io", "shared-mutable-capture",
+         "throw-in-parallel")
 
 # Files exempt from specific rules: the façade a rule funnels everything into
 # is the one legitimate user of the forbidden pattern.
@@ -341,6 +351,25 @@ def check_shared_capture(code: str, findings: list, path: Path) -> None:
 
 
 # ---------------------------------------------------------------------------
+# rule: throw-in-parallel
+# ---------------------------------------------------------------------------
+
+THROW_RE = re.compile(r"\bthrow\b")
+
+
+def check_throw_in_parallel(code: str, findings: list, path: Path) -> None:
+    for call in PARALLEL_CALL_RE.finditer(code):
+        for _capture, body, body_offset in lambda_args_of_call(code, call.start()):
+            for tm in THROW_RE.finditer(body):
+                findings.append(Finding(
+                    path, line_of(code, body_offset + tm.start()), "throw-in-parallel",
+                    "throw inside a parallel worker body: an exception escaping a "
+                    "pool thread is std::terminate, and which worker's failure "
+                    "surfaces depends on scheduling; record a per-slot status and "
+                    "fail deterministically after the join"))
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -354,6 +383,7 @@ def lint_file(path: Path, root: Path) -> list:
     check_io(rel, code, findings, path)
     check_unordered(code, findings, path)
     check_shared_capture(code, findings, path)
+    check_throw_in_parallel(code, findings, path)
 
     # Apply waivers (same line or the immediately preceding line). A waiver
     # without a justification is converted into its own finding.

@@ -56,10 +56,10 @@ StatusOr<GateFunc> func_from_name(const std::string& raw, int line) {
 
 }  // namespace
 
-StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
-  std::vector<std::string> input_names;
+StatusOr<Netlist> read_bench(std::string_view text, std::string name,
+                             Provenance* provenance) {
+  std::vector<std::pair<std::string, int>> input_names;   // name, line
   std::vector<std::pair<std::string, int>> output_names;  // name, line
-  std::unordered_set<std::string> seen_outputs;
   std::unordered_map<std::string, GateDef> defs;
   std::vector<std::string> def_order;
 
@@ -102,12 +102,10 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
         return Status::error("line " + std::to_string(line_no) + ": empty port name");
       }
       if (is_input) {
-        input_names.push_back(port);
+        input_names.emplace_back(port, line_no);
       } else {
-        if (!seen_outputs.insert(port).second) {
-          return Status::error("line " + std::to_string(line_no) + ": output '" + port +
-                               "' declared twice");
-        }
+        // A repeated OUTPUT declaration parses: both primary outputs are
+        // materialized and drc::check_netlist reports the multi-driven net.
         output_names.emplace_back(port, line_no);
       }
       continue;
@@ -163,16 +161,18 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
 
   Netlist nl(std::move(name));
   std::unordered_map<std::string, GateId> ids;
-  for (const std::string& in : input_names) {
+  for (const auto& [in, line] : input_names) {
     if (ids.contains(in)) return Status::error("input '" + in + "' declared twice");
     if (defs.contains(in)) {
       return Status::error("signal '" + in + "' is both an INPUT and a gate output");
     }
     ids.emplace(in, nl.add_input(in));
+    if (provenance != nullptr) provenance->line_of.emplace(in, line);
   }
 
   // Resolve definitions depth-first; state 1 = on stack (cycle detection).
   std::unordered_map<std::string, int> state;
+  std::vector<std::string> stack;  // current DFS path, for cycle witnesses
   Status failure;
   const std::function<GateId(const std::string&)> resolve =
       [&](const std::string& signal) -> GateId {
@@ -184,11 +184,25 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
     }
     if (state[signal] == 1) {
       if (failure.ok()) {
-        failure = Status::error("combinational cycle through signal '" + signal + "'");
+        // The DFS stack from the first occurrence of @p signal down to here
+        // is the cycle; report it in signal-flow order as the witness.
+        std::vector<std::string> cycle;
+        const auto first = std::find(stack.begin(), stack.end(), signal);
+        cycle.assign(first, stack.end());
+        cycle.push_back(signal);
+        std::string path;
+        for (const std::string& s : cycle) {
+          if (!path.empty()) path += " -> ";
+          path += s;
+        }
+        failure = Status::error("line " + std::to_string(def_it->second.line) +
+                                ": combinational cycle: " + path);
+        if (provenance != nullptr) provenance->cycle = std::move(cycle);
       }
       return netlist::kNoGate;
     }
     state[signal] = 1;
+    stack.push_back(signal);
     std::vector<GateId> fanins;
     fanins.reserve(def_it->second.fanins.size());
     for (const std::string& f : def_it->second.fanins) {
@@ -197,6 +211,7 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
       fanins.push_back(fid);
     }
     state[signal] = 2;
+    stack.pop_back();
     GateFunc func = def_it->second.func;
     // .bench allows 1-input AND/OR (identity): normalize to BUF.
     if (fanins.size() == 1 &&
@@ -208,6 +223,7 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
     }
     const GateId id = nl.add_gate(func, fanins, signal);
     ids.emplace(signal, id);
+    if (provenance != nullptr) provenance->line_of.emplace(signal, def_it->second.line);
     return id;
   };
 
@@ -222,13 +238,14 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name) {
       return Status::error("line " + std::to_string(line) + ": undefined output '" + out + "'");
     }
     nl.add_output(out, id);
+    if (provenance != nullptr) provenance->line_of.emplace(out, line);
   }
 
   if (const Status s = nl.check(); !s.ok()) return s;
   return nl;
 }
 
-StatusOr<Netlist> read_bench_file(const std::string& path) {
+StatusOr<Netlist> read_bench_file(const std::string& path, Provenance* provenance) {
   std::ifstream file(path);
   if (!file) return Status::error("cannot open " + path);
   std::ostringstream buffer;
@@ -240,7 +257,8 @@ StatusOr<Netlist> read_bench_file(const std::string& path) {
   if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
     name = name.substr(0, dot);
   }
-  return read_bench(buffer.str(), name);
+  if (provenance != nullptr) provenance->file = path;
+  return read_bench(buffer.str(), name, provenance);
 }
 
 }  // namespace statsizer::bench_format

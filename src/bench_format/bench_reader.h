@@ -9,21 +9,29 @@
 // Supported functions: AND, NAND, OR, NOR, XOR, NXOR/XNOR, NOT, BUF/BUFF.
 // DFFs are rejected (this library models combinational timing only).
 // Definitions may appear in any order; the reader resolves dependencies and
-// reports undefined signals and combinational cycles with line numbers.
+// reports undefined signals and combinational cycles (with the witness path)
+// with line numbers. A duplicated OUTPUT declaration is *not* a syntax
+// error: both primary outputs are materialized and the DRC layer reports the
+// multi-driven net with provenance.
 #pragma once
 
 #include <string_view>
 
+#include "bench_format/provenance.h"
 #include "netlist/netlist.h"
 #include "util/status.h"
 
 namespace statsizer::bench_format {
 
 /// Parses .bench text into a netlist. @p name names the resulting netlist.
+/// @p provenance (optional) receives name -> line locations and, on cycle
+/// failure, the witness path.
 [[nodiscard]] StatusOr<netlist::Netlist> read_bench(std::string_view text,
-                                                    std::string name = "bench");
+                                                    std::string name = "bench",
+                                                    Provenance* provenance = nullptr);
 
 /// Reads a .bench file from disk.
-[[nodiscard]] StatusOr<netlist::Netlist> read_bench_file(const std::string& path);
+[[nodiscard]] StatusOr<netlist::Netlist> read_bench_file(const std::string& path,
+                                                         Provenance* provenance = nullptr);
 
 }  // namespace statsizer::bench_format

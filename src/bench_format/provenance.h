@@ -1,0 +1,37 @@
+// Source-location side channel the netlist/constraint readers fill while
+// parsing: name -> defining line for every port, net, and gate target, plus
+// the witness path when a parse failed on a combinational cycle. The DRC
+// layer (src/drc) uses it to attribute diagnostics to file:line; readers
+// populate it only when the caller passes one, so parse performance and
+// behaviour without provenance are unchanged.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace statsizer::bench_format {
+
+struct Provenance {
+  /// Source path; empty when parsing from an in-memory string.
+  std::string file;
+  /// Signal/net/port name -> 1-based line of its definition.
+  std::unordered_map<std::string, int> line_of;
+  /// When a parse failed on a combinational cycle: the named path around the
+  /// loop, first node repeated at the end ("y", "z", "y"). Empty otherwise.
+  std::vector<std::string> cycle;
+
+  /// Line of @p name's definition; 0 when unknown.
+  [[nodiscard]] int line(const std::string& name) const {
+    const auto it = line_of.find(name);
+    return it == line_of.end() ? 0 : it->second;
+  }
+
+  void clear() {
+    file.clear();
+    line_of.clear();
+    cycle.clear();
+  }
+};
+
+}  // namespace statsizer::bench_format

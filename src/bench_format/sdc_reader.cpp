@@ -146,6 +146,7 @@ Status parse_port_delay(const std::vector<SdcToken>& tokens, bool inputs, int li
   }
   if (!have_delay) return err(line_no, "missing delay value");
   if (!have_objects) return err(line_no, "missing [get_ports ...] / [all_...] object list");
+  entry.line = line_no;
   (inputs ? sdc.input_delays : sdc.output_delays).push_back(std::move(entry));
   return Status();
 }
@@ -204,6 +205,7 @@ StatusOr<Sdc> read_sdc(std::string_view text) {
       if (!sdc.clock_period_ps.has_value()) {
         return err(line_no, "create_clock without -period");
       }
+      sdc.clock_line = line_no;
       continue;
     }
 

@@ -34,12 +34,16 @@ struct SdcPortDelay {
   /// [all_inputs] / [all_outputs].
   bool all_ports = false;
   double delay_ps = 0.0;
+  /// 1-based source line of the statement (0 when built programmatically).
+  int line = 0;
 };
 
 /// Parsed SDC contents, command order preserved.
 struct Sdc {
   std::optional<double> clock_period_ps;
   std::string clock_name;
+  /// 1-based source line of create_clock (0 when absent or programmatic).
+  int clock_line = 0;
   std::vector<SdcPortDelay> input_delays;
   std::vector<SdcPortDelay> output_delays;
 };

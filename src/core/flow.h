@@ -16,6 +16,9 @@
 #include <string_view>
 #include <vector>
 
+#include "bench_format/provenance.h"
+#include "bench_format/sdc_reader.h"
+#include "drc/drc.h"
 #include "liberty/model.h"
 #include "liberty/synthetic.h"
 #include "netlist/netlist.h"
@@ -71,6 +74,12 @@ struct FlowOptions {
   /// kernel) and doubles as optimize()'s recovery screen.
   std::string confirm_engine = "fullssta";
   std::string score_engine = "fassta";
+  /// Design-rule analysis thresholds (loading and preflight()).
+  drc::DrcOptions drc;
+  /// When set (the default), run_baseline() and optimize() refuse — with a
+  /// std::logic_error naming the first finding — to size a design whose
+  /// preflight() reports error-severity diagnostics. Warnings never block.
+  bool preflight = true;
 };
 
 /// Everything one statistical optimization run produced.
@@ -149,6 +158,20 @@ class Flow {
   /// Writes the current (sized) netlist as structural Verilog.
   [[nodiscard]] Status write_verilog_file(const std::string& path) const;
 
+  // -- design-rule analysis ----------------------------------------------------
+  /// Runs the full DRC sweep (structural + binding + electrical + SDC
+  /// coverage) over the current circuit with FlowOptions::drc, using the
+  /// ingestion provenance and the most recent apply_sdc source when
+  /// available. The report is stored (last_drc()) and returned.
+  /// Precondition: a circuit is loaded.
+  const drc::DrcReport& preflight();
+  /// The most recent DRC report: the structural screen from the last load,
+  /// or the last explicit preflight() sweep.
+  [[nodiscard]] const drc::DrcReport& last_drc() const { return last_drc_; }
+  /// Name -> source-line provenance of the last file-based load (empty for
+  /// generated and in-memory circuits).
+  [[nodiscard]] const bench_format::Provenance& provenance() const { return provenance_; }
+
   // -- optimization -----------------------------------------------------------
   /// Deterministic mean-delay sizing: establishes the paper's "original"
   /// operating point. Precondition: a circuit is loaded.
@@ -199,11 +222,24 @@ class Flow {
   [[nodiscard]] const FlowOptions& options() const { return options_; }
 
  private:
+  /// Shared tail of the load_* paths: structural DRC screen (errors refuse
+  /// the circuit, with the first diagnostic as the status message), netlist
+  /// invariants, mapping, context construction. Does not touch provenance_ —
+  /// the file loaders fill it before delegating.
+  [[nodiscard]] Status adopt_circuit(netlist::Netlist nl);
+  /// Throws std::logic_error when preflighting is on and the current design
+  /// has error-severity diagnostics. @p stage names the refusing API.
+  void require_clean(const char* stage);
+
   FlowOptions options_;
   liberty::Library library_;
   variation::VariationModel variation_;
   std::unique_ptr<netlist::Netlist> netlist_;       // stable address for context_
   std::unique_ptr<sta::TimingContext> context_;
+  bench_format::Provenance provenance_;
+  std::optional<bench_format::Sdc> sdc_;            // last applied SDC, for DRC
+  std::string sdc_file_;
+  drc::DrcReport last_drc_;
 };
 
 }  // namespace statsizer::core

@@ -61,6 +61,7 @@ struct Pin {
   PinDirection direction = PinDirection::kInput;
   double capacitance_ff = 0.0;     ///< input pins
   double max_capacitance_ff = 0.0; ///< output pins; 0 = unconstrained
+  double max_transition_ps = 0.0;  ///< slew limit at this pin; 0 = unconstrained
   std::string function;            ///< output pins, Liberty boolean expression
   std::vector<TimingArc> arcs;     ///< output pins, one per related input
 };

@@ -336,6 +336,11 @@ StatusOr<Pin> interpret_pin(const AstGroup& g,
     if (!v.ok()) return v.status();
     pin.max_capacitance_ff = *v;
   }
+  if (!g.attr("max_transition").empty()) {
+    auto v = parse_double_attr(g, "max_transition");
+    if (!v.ok()) return v.status();
+    pin.max_transition_ps = *v;
+  }
   pin.function = std::string(g.attr("function"));
   for (const AstGroup& child : g.children) {
     if (child.type == "timing") {

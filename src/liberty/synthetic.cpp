@@ -110,6 +110,7 @@ Library build_synthetic_90nm(const SyntheticOptions& options) {
         p.name = pins[i];
         p.direction = PinDirection::kInput;
         p.capacitance_ff = options.c_unit_ff * spec.pin_efforts[i] * k;
+        p.max_transition_ps = options.max_transition_ps;
         cell.pins.push_back(std::move(p));
       }
 
@@ -118,6 +119,7 @@ Library build_synthetic_90nm(const SyntheticOptions& options) {
       out.direction = PinDirection::kOutput;
       out.function = function_string(spec.base_name, pins);
       out.max_capacitance_ff = options.max_load_per_drive_ff * k;
+      out.max_transition_ps = options.max_transition_ps;
 
       // Load axis scales with drive so the table covers the loads this size
       // will realistically see.

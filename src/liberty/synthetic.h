@@ -33,6 +33,7 @@ struct SyntheticOptions {
   double fall_skew = 0.95;         ///< cell_fall = skew * nominal
   double area_unit_um2 = 0.65;     ///< um^2 per transistor at X1
   double max_load_per_drive_ff = 40.0;  ///< max_capacitance = this * drive
+  double max_transition_ps = 800.0;     ///< max_transition on every pin (0 = none)
   /// Drive strengths for simple, high-population cells (8 sizes)...
   std::vector<double> simple_drives = {1, 2, 3, 4, 6, 8, 12, 16};
   /// ...and for complex cells (6 sizes), matching the paper's "6-8 sizes".

@@ -68,6 +68,9 @@ std::string write_library(const Library& lib) {
       if (pin.direction == PinDirection::kInput) {
         os << "      direction : input;\n";
         os << "      capacitance : " << num(pin.capacitance_ff) << ";\n";
+        if (pin.max_transition_ps > 0.0) {
+          os << "      max_transition : " << num(pin.max_transition_ps) << ";\n";
+        }
       } else {
         os << "      direction : output;\n";
         if (!pin.function.empty()) {
@@ -75,6 +78,9 @@ std::string write_library(const Library& lib) {
         }
         if (pin.max_capacitance_ff > 0.0) {
           os << "      max_capacitance : " << num(pin.max_capacitance_ff) << ";\n";
+        }
+        if (pin.max_transition_ps > 0.0) {
+          os << "      max_transition : " << num(pin.max_transition_ps) << ";\n";
         }
         for (const TimingArc& arc : pin.arcs) {
           os << "      timing () {\n";

@@ -2,6 +2,7 @@
 
 #include "bench_format/bench_reader.h"
 #include "bench_format/bench_writer.h"
+#include "drc/drc.h"
 #include "circuits/generators.h"
 #include "netlist/sim.h"
 
@@ -121,12 +122,18 @@ TEST(BenchReader, EmptyFaninArgumentIsAnError) {
   EXPECT_FALSE(read_bench("INPUT(a)\nOUTPUT(Y)\nY = AND()\n").ok());
 }
 
-TEST(BenchReader, DuplicateOutputDeclarationIsAnError) {
+TEST(BenchReader, DuplicateOutputDeclarationParsesForTheDrcToCatch) {
+  // The reader accepts the duplicate (both entries resolve to the same
+  // driver) so the design-rule checker can report it as a structured
+  // multi-driven-net diagnostic; core::Flow then refuses the circuit.
   const auto r = read_bench("INPUT(a)\nOUTPUT(Y)\nOUTPUT(Y)\nY = NOT(a)\n");
-  ASSERT_FALSE(r.ok());
-  EXPECT_NE(r.status().message().find("line 3"), std::string::npos) << r.status().message();
-  EXPECT_NE(r.status().message().find("declared twice"), std::string::npos)
-      << r.status().message();
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ASSERT_EQ(r.value().outputs().size(), 2u);
+  EXPECT_EQ(r.value().outputs()[0].driver, r.value().outputs()[1].driver);
+  const drc::DrcReport report = drc::check_netlist(r.value());
+  ASSERT_EQ(report.errors(), 1u);
+  EXPECT_EQ(report.first_error()->rule, drc::Rule::kMultiDrivenNet);
+  EXPECT_EQ(report.first_error()->object, "Y");
 }
 
 TEST(BenchReader, TrailingJunkIsAnError) {

@@ -359,7 +359,7 @@ TEST(AdderComparator, AllOutputsCorrect) {
     inputs.push_back(sel);
     const auto outs = netlist::eval_single(nl, inputs);
     // Output order: a_eq_b, a_gt_b, a_lt_b, r[16], inc[16], cout, par_a,
-    // par_b, par_r, r_zero.
+    // par_b, par_r, r_zero, inc_cout.
     std::size_t k = 0;
     EXPECT_EQ(outs[k++], a == b);
     EXPECT_EQ(outs[k++], a > b);
@@ -382,6 +382,7 @@ TEST(AdderComparator, AllOutputsCorrect) {
     EXPECT_EQ(outs[k++], __builtin_parityll(b) != 0);
     EXPECT_EQ(outs[k++], __builtin_parityll(expect_r) != 0);
     EXPECT_EQ(outs[k++], expect_r == 0);
+    EXPECT_EQ(outs[k++], a == mask);  // inc_cout: a+1 overflowed
   }
 }
 

@@ -1,0 +1,8 @@
+module loop (a, b, y);
+  input a, b;
+  output y;
+  wire w1, w2;
+  NAND2_X1 u0 (.A1(a), .A2(w2), .ZN(w1));
+  NAND2_X1 u1 (.A1(w1), .A2(b), .ZN(w2));
+  BUF_X1 u2 (.A(w2), .Z(y));
+endmodule

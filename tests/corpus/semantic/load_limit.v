@@ -1,0 +1,15 @@
+// An X1 inverter driving five NAND2_X8 input pins: 96 fF of load against a
+// 40 fF max_capacitance (2.4x, over the DRC's 2x gross-violation screen)
+// while its output slew (~770 ps) stays inside the 800 ps max_transition.
+// expect-drc: load-exceeds-limit n
+module load_limit (a, b, y0, y1, y2, y3, y4);
+  input a, b;
+  output y0, y1, y2, y3, y4;
+  wire n;
+  INV_X1 u0 (.A(a), .ZN(n));
+  NAND2_X8 u1 (.A1(n), .A2(b), .ZN(y0));
+  NAND2_X8 u2 (.A1(n), .A2(b), .ZN(y1));
+  NAND2_X8 u3 (.A1(n), .A2(b), .ZN(y2));
+  NAND2_X8 u4 (.A1(n), .A2(b), .ZN(y3));
+  NAND2_X8 u5 (.A1(n), .A2(b), .ZN(y4));
+endmodule

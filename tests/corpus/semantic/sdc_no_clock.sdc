@@ -1,0 +1,3 @@
+# Port delays without a create_clock: no primary output has a required time.
+# expect-drc: unconstrained-output
+set_input_delay 60 [all_inputs]

@@ -1,0 +1,4 @@
+# A clock with a non-positive period: every required time is vacuous.
+# expect-drc: non-positive-clock clk
+create_clock -period 0 -name clk
+set_input_delay -clock clk 60 [all_inputs]

@@ -1,0 +1,5 @@
+# A clock is defined but only input a has an arrival: b and c are
+# unconstrained primary inputs (checked against valid_small.bench).
+# expect-drc: unconstrained-input b
+create_clock -period 800 -name clk
+set_input_delay -clock clk 60 [get_ports a]

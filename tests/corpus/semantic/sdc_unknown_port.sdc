@@ -1,0 +1,7 @@
+# Constrains a port the netlist does not have (checked against
+# valid_small.bench: inputs a, b, c; output y).
+# expect-drc: unknown-constraint-port no_such_port
+create_clock -period 800 -name clk
+set_input_delay -clock clk 60 [all_inputs]
+set_input_delay -clock clk 80 [get_ports no_such_port]
+set_output_delay -clock clk 50 [get_ports y]

@@ -1,0 +1,21 @@
+// An X1 inverter driving eight NAND2_X8 input pins (~154 fF): nominal
+// output slew ~1226 ps, far over the 800 ps max_transition. A slew this bad
+// necessarily drags the capacitive load over its limit too (in this library
+// the slew bound binds at ~108 fF/drive, the 2x load screen at 80), so the
+// load rule fires alongside.
+// expect-drc: slew-exceeds-limit n
+// expect-drc: load-exceeds-limit n
+module slew_limit (a, b, y0, y1, y2, y3, y4, y5, y6, y7);
+  input a, b;
+  output y0, y1, y2, y3, y4, y5, y6, y7;
+  wire n;
+  INV_X1 u0 (.A(a), .ZN(n));
+  NAND2_X8 u1 (.A1(n), .A2(b), .ZN(y0));
+  NAND2_X8 u2 (.A1(n), .A2(b), .ZN(y1));
+  NAND2_X8 u3 (.A1(n), .A2(b), .ZN(y2));
+  NAND2_X8 u4 (.A1(n), .A2(b), .ZN(y3));
+  NAND2_X8 u5 (.A1(n), .A2(b), .ZN(y4));
+  NAND2_X8 u6 (.A1(n), .A2(b), .ZN(y5));
+  NAND2_X8 u7 (.A1(n), .A2(b), .ZN(y6));
+  NAND2_X8 u8 (.A1(n), .A2(b), .ZN(y7));
+endmodule
