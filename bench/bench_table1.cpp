@@ -3,15 +3,20 @@
 // change in mean, change in sigma, resulting sigma/mu, change in area, and
 // runtime. The paper's values are printed alongside for comparison.
 //
-// Usage: bench_table1 [--quick] [--threads N] [circuit ...]
+// Usage: bench_table1 [--quick] [--threads N] [--inject SPEC] [circuit ...]
 //   --quick       only the sub-1000-gate circuits (CI-friendly)
-//   --threads N   shard circuits across N pool workers (the
-//                 Flow::run_monte_carlo_batch fan-out pattern); each sharded
-//                 run then scores sizing candidates serially. With N = 1
-//                 (default) circuits run sequentially and the candidate
-//                 scoring inside each run fans across hardware threads
-//                 instead. Either way the table values are identical — the
-//                 sizer is thread-count-invariant.
+//   --threads N   shard circuits across N job-system workers (the
+//                 serve::JobManager fan-out pattern); each sharded run then
+//                 scores sizing candidates serially. With N = 1 (default)
+//                 circuits run sequentially and the candidate scoring inside
+//                 each run fans across hardware threads instead. Either way
+//                 the table values are identical — the sizer is
+//                 thread-count-invariant.
+//   --inject SPEC deterministic fault rule (util::parse_fault_rule syntax;
+//                 repeatable). Scope = the circuit's index in the work list.
+//                 A poisoned circuit fails its row with the structured
+//                 status; sibling rows are untouched. For exercising the
+//                 per-job isolation path from automation.
 //   circuits      subset by name (default: the 13 paper rows). The scaled
 //                 fabrics (mul32/mul64/pipe64/mesh8) are also accepted; they
 //                 have no paper reference, so those columns print "-".
@@ -29,6 +34,8 @@
 #include "circuits/iscas_suite.h"
 #include "core/flow.h"
 #include "netlist/topo.h"
+#include "serve/job.h"
+#include "util/fault.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -120,10 +127,23 @@ RowResult run_circuit(const std::string& name, const circuits::Table1Reference* 
 int main(int argc, char** argv) {
   bool quick = false;
   std::size_t threads = 1;
+  util::FaultPlan faults;
+  faults.seed = 1;
   std::vector<std::string> selected;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--inject") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--inject requires a value\n");
+        return 2;
+      }
+      auto rule = util::parse_fault_rule(argv[++i]);
+      if (!rule.ok()) {
+        std::fprintf(stderr, "--inject: %s\n", std::string(rule.status().message()).c_str());
+        return 2;
+      }
+      faults.rules.push_back(std::move(rule.value()));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--threads requires a value\n");
@@ -163,25 +183,44 @@ int main(int argc, char** argv) {
   }
   if (bad_name) return 1;
 
-  // Shard whole circuits across the pool, run_monte_carlo_batch style:
-  // results land in index-aligned slots, so the table order (and every value
-  // in it) is independent of the thread count. The effective shard count is
-  // bounded by the work list: asking for 8 threads on one circuit must not
-  // serialize that circuit's inner candidate scoring.
+  // Shard whole circuits across the job system: results land in
+  // index-aligned slots, so the table order (and every value in it) is
+  // independent of the thread count, and a failing circuit — including one
+  // poisoned by --inject — is isolated to its own row's structured status.
+  // The effective shard count is bounded by the work list: asking for 8
+  // threads on one circuit must not serialize that circuit's inner candidate
+  // scoring.
   const std::size_t shards = std::min(threads, std::max<std::size_t>(work.size(), 1));
   std::vector<RowResult> results(work.size());
-  util::parallel_for(work.size(), 1, shards,
-                     [&](std::size_t begin, std::size_t end, std::size_t) {
-                       for (std::size_t i = begin; i < end; ++i) {
-                         try {
-                           results[i] = run_circuit(
-                               work[i].first,
-                               work[i].second ? &*work[i].second : nullptr, shards);
-                         } catch (const std::exception& e) {
-                           results[i].error = e.what();
-                         }
-                       }
-                     });
+  {
+    serve::JobManagerOptions manager_options;
+    manager_options.threads = shards;
+    manager_options.limits.max_queue_depth = std::max<std::size_t>(work.size(), 1);
+    manager_options.faults = faults.empty() ? nullptr : &faults;
+    serve::JobManager manager(manager_options);
+    std::vector<serve::JobRef> handles(work.size());
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      serve::JobOptions job_options;
+      job_options.fault_scope = i;  // --inject addresses circuits by index
+      handles[i] = manager.submit(
+          [&work, &results, shards, i] {
+            results[i] = run_circuit(work[i].first,
+                                     work[i].second ? &*work[i].second : nullptr, shards);
+            if (!results[i].error.empty()) {
+              throw StatusError(Status::error(results[i].error));
+            }
+          },
+          job_options);
+    }
+    manager.wait_all();
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      const Status status = handles[i]->status();
+      if (!status.ok()) {
+        results[i].error = std::string(to_string(status.code())) + ": " +
+                           std::string(status.message());
+      }
+    }
+  }
 
   util::Table table({"Circuit", "Gates", "Depth", "s/m orig", "s/m paper", "Y orig",  //
                      "L3 dMu", "L3 dSg", "L3 dSg paper", "L3 dA", "L3 Y", "L3 t(s)",

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Perf trajectory snapshot: builds bench_perf_engines and records the
-# propagation-kernel benchmarks (serial + wavefront update()/FULLSSTA and
-# their thread sweeps) as machine-readable JSON.
+# Perf trajectory snapshot: builds the selected benchmark binary (by default
+# bench_perf_engines) and records its benchmarks (serial + wavefront
+# update()/FULLSSTA kernels and their thread sweeps) as machine-readable
+# JSON.
 #
 #   scripts/bench_snapshot.sh                 # writes BENCH_update_levelized.json
 #   scripts/bench_snapshot.sh out.json        # custom output path
@@ -16,6 +17,11 @@
 # design-rule sweep (BM_DrcFullSweep: preflight cost + wavefront scaling):
 #   scripts/bench_snapshot.sh BENCH_drc_sweep.json
 #
+# An output path matching *server* selects the bench_server binary instead
+# (BM_ServerMixed: jobs/sec + p50/p99 client latency at 1/2/8 concurrent
+# clients against a shared serving session):
+#   scripts/bench_snapshot.sh BENCH_server.json
+#
 # The JSON (google-benchmark schema: per-benchmark real_time / cpu_time plus
 # the run context) is the repo's perf trajectory — commit a snapshot per perf
 # PR so later sessions can diff kernels against it. Numbers are only
@@ -28,9 +34,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_update_levelized.json}"
+BIN=bench_perf_engines
 case "${OUT}" in
   *isle_yield*) DEFAULT_FILTER='BM_IsleYield|BM_PlainMcYield' ;;
   *drc_sweep*) DEFAULT_FILTER='BM_DrcFullSweep' ;;
+  *server*)
+    BIN=bench_server
+    DEFAULT_FILTER='BM_ServerMixed'
+    ;;
   *) DEFAULT_FILTER='BM_TimingUpdate|BM_UpdateThreads|BM_FullSstaThreads|BM_Fullssta/c880' ;;
 esac
 FILTER="${2:-${DEFAULT_FILTER}}"
@@ -42,15 +53,15 @@ if ! git diff --quiet HEAD 2>/dev/null; then
 fi
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "${JOBS}" --target bench_perf_engines >/dev/null
+cmake --build build -j "${JOBS}" --target "${BIN}" >/dev/null
 
 # The workload names embedded in the filtered benchmark set (BM_Foo/<name>).
-WORKLOADS="$(./build/bench_perf_engines --benchmark_list_tests \
+WORKLOADS="$("./build/${BIN}" --benchmark_list_tests \
                --benchmark_filter="${FILTER}" 2>/dev/null |
              sed -n 's|^BM_[^/]*/\([A-Za-z0-9_]*\).*|\1|p' | sort -u |
              paste -sd, - || echo unknown)"
 
-./build/bench_perf_engines --json "${OUT}" \
+"./build/${BIN}" --json "${OUT}" \
   --context "git_sha=${GIT_SHA}" \
   --context "workloads=${WORKLOADS}" \
   --benchmark_filter="${FILTER}" \

@@ -40,6 +40,13 @@
 #                                    # exit codes must match severity) and
 #                                    # over every builtin workload (must be
 #                                    # clean under --strict)
+#   scripts/check.sh --serve-smoke   # additionally drive statsizer_serve
+#                                    # over a scripted newline-JSON session
+#                                    # (load/whatif/yield, malformed input,
+#                                    # unknown op, expired deadline — each
+#                                    # must answer with its structured code)
+#                                    # and bench_table1 --inject (a poisoned
+#                                    # shard must fail its row, exit 1)
 #
 # CHECK_REQUIRE_TOOLS=1 turns the clang-tidy / clang-format "not installed,
 # gate SKIPPED" warnings into hard failures (for CI images that bake the
@@ -70,6 +77,7 @@ SMOKE=0
 PARSER=0
 YIELD=0
 DRC=0
+SERVE=0
 for arg in "$@"; do
   case "${arg}" in
     --asan) ASAN=1 ;;
@@ -82,9 +90,11 @@ for arg in "$@"; do
     --parser-smoke) PARSER=1 ;;
     --yield-smoke) YIELD=1 ;;
     --drc) DRC=1 ;;
+    --serve-smoke) SERVE=1 ;;
     *)
       echo "usage: scripts/check.sh [--asan] [--tsan] [--paranoid] [--lint] [--tidy]" \
-           "[--format] [--table1-smoke] [--parser-smoke] [--yield-smoke] [--drc]" >&2
+           "[--format] [--table1-smoke] [--parser-smoke] [--yield-smoke] [--drc]" \
+           "[--serve-smoke]" >&2
       exit 2
       ;;
   esac
@@ -149,9 +159,13 @@ if [[ "${TSAN}" == 1 ]]; then
   # happens-before analysis, so findings do not depend on the host's core
   # count. scripts/tsan.supp documents every tolerated report (currently
   # none); halt_on_error makes any unsuppressed report fail the run loudly.
+  # The serving suites (JobManager, BatchIsolation, ServeSession, ServeServer)
+  # are in: the job system's pool handoffs, the session's shared/exclusive
+  # lock discipline under concurrent what-ifs, and the server's reader/writer/
+  # worker triangle are exactly the lifetimes TSan should walk.
   echo "check.sh: tsan pass (concurrency suites)"
   CTEST_EXTRA=(
-    -R 'AnalyzerRegistry|EngineSelection|IsleDegeneracy|LevelizedUpdate|LevelizedWhatIf|SizerParallel|AreaRecovery|MonteCarloParallel|ParallelFor|StreamSeed|ThreadPool|IsleYield'
+    -R 'AnalyzerRegistry|EngineSelection|IsleDegeneracy|LevelizedUpdate|LevelizedWhatIf|SizerParallel|AreaRecovery|MonteCarloParallel|ParallelFor|StreamSeed|ThreadPool|IsleYield|JobManager|BatchIsolation|ServeSession|ServeServer'
     -E 'IsleYield.ResolvesSdcClockOnMesh8'
   )
   export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp halt_on_error=1 second_deadlock_stack=1"
@@ -273,6 +287,57 @@ if [[ "${YIELD}" == 1 ]]; then
   # disagreement.
   echo "check.sh: yield smoke (isle vs mc on c432)"
   ./build/example_yield_quickstart --check
+fi
+
+if [[ "${SERVE}" == 1 ]]; then
+  # End-to-end serving smoke through the real binary and the real protocol.
+  # A scripted newline-JSON session must produce one response per request, in
+  # request order, with structured codes on every failure path; then a fault
+  # injection into one bench_table1 shard must fail exactly that row (exit 1)
+  # while a clean run stays green.
+  echo "check.sh: serve smoke (statsizer_serve protocol + bench_table1 --inject)"
+  SERVE_OUT="$(./build/statsizer_serve --queue-depth 8 <<'EOF'
+{"id":1,"op":"load","workload":"c432"}
+{"id":2,"op":"whatif","gate":"g10","size":1}
+this line is not json
+{"id":4,"op":"frobnicate"}
+{"id":5,"op":"yield","deadline_ms":1}
+{"id":6,"op":"status"}
+{"id":7,"op":"quit"}
+EOF
+)"
+  if [[ "$(wc -l <<< "${SERVE_OUT}")" -ne 7 ]]; then
+    echo "check.sh: serve smoke FAILED: expected 7 response lines" >&2
+    echo "${SERVE_OUT}" >&2
+    exit 1
+  fi
+  for needle in '"circuit":"c432"' '"delta_sigma_ps"' '"code":"invalid_argument"' \
+                'unknown op' '"code":"deadline_exceeded"' '"submitted"'; do
+    if ! grep -qF "${needle}" <<< "${SERVE_OUT}"; then
+      echo "check.sh: serve smoke FAILED: missing ${needle} in responses" >&2
+      echo "${SERVE_OUT}" >&2
+      exit 1
+    fi
+  done
+  set +e
+  INJECT_OUT="$(./build/bench_table1 --threads 2 \
+      --inject 'site=serve/job/start,scope=0' c432 c499 2>&1 >/dev/null)"
+  rc=$?
+  set -e
+  if [[ "${rc}" -ne 1 ]] || \
+     ! grep -qE '^c432: unavailable: injected fault' <<< "${INJECT_OUT}"; then
+    echo "check.sh: serve smoke FAILED: --inject run exited ${rc} (want 1 + structured fault)" >&2
+    echo "${INJECT_OUT}" >&2
+    exit 1
+  fi
+  # Isolation: only the poisoned shard's row may fail ("[table1] c499: ..."
+  # progress lines are fine; an anchored "c499: <error>" line is not).
+  if grep -qE '^c499: ' <<< "${INJECT_OUT}"; then
+    echo "check.sh: serve smoke FAILED: fault leaked into the c499 sibling row" >&2
+    echo "${INJECT_OUT}" >&2
+    exit 1
+  fi
+  echo "check.sh: serve smoke ok"
 fi
 
 echo "check.sh: all green"

@@ -48,10 +48,10 @@ StatusOr<GateFunc> func_from_name(const std::string& raw, int line) {
   if (f == "NOT" || f == "INV") return GateFunc::kInv;
   if (f == "BUF" || f == "BUFF") return GateFunc::kBuf;
   if (f == "DFF") {
-    return Status::error("line " + std::to_string(line) +
+    return Status::invalid_argument("line " + std::to_string(line) +
                          ": DFF is not supported (combinational netlists only)");
   }
-  return Status::error("line " + std::to_string(line) + ": unknown function '" + raw + "'");
+  return Status::invalid_argument("line " + std::to_string(line) + ": unknown function '" + raw + "'");
 }
 
 }  // namespace
@@ -86,20 +86,20 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
       const auto open = line.find('(');
       const auto close = line.rfind(')');
       if (open == std::string::npos || close == std::string::npos || close <= open) {
-        return Status::error("line " + std::to_string(line_no) + ": malformed port: " + line);
+        return Status::invalid_argument("line " + std::to_string(line_no) + ": malformed port: " + line);
       }
       const std::string keyword = trim(std::string_view(uline).substr(0, open));
       if (keyword != "INPUT" && keyword != "OUTPUT") {
-        return Status::error("line " + std::to_string(line_no) +
+        return Status::invalid_argument("line " + std::to_string(line_no) +
                              ": expected INPUT(...) or OUTPUT(...), got: " + line);
       }
       if (!trim(std::string_view(line).substr(close + 1)).empty()) {
-        return Status::error("line " + std::to_string(line_no) +
+        return Status::invalid_argument("line " + std::to_string(line_no) +
                              ": trailing text after port declaration: " + line);
       }
       const std::string port = trim(std::string_view(line).substr(open + 1, close - open - 1));
       if (port.empty()) {
-        return Status::error("line " + std::to_string(line_no) + ": empty port name");
+        return Status::invalid_argument("line " + std::to_string(line_no) + ": empty port name");
       }
       if (is_input) {
         input_names.emplace_back(port, line_no);
@@ -113,17 +113,17 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
 
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
-      return Status::error("line " + std::to_string(line_no) + ": expected assignment: " + line);
+      return Status::invalid_argument("line " + std::to_string(line_no) + ": expected assignment: " + line);
     }
     const std::string target = trim(std::string_view(line).substr(0, eq));
     const std::string rhs = trim(std::string_view(line).substr(eq + 1));
     const auto open = rhs.find('(');
     const auto close = rhs.rfind(')');
     if (open == std::string::npos || close == std::string::npos || close <= open) {
-      return Status::error("line " + std::to_string(line_no) + ": malformed gate: " + line);
+      return Status::invalid_argument("line " + std::to_string(line_no) + ": malformed gate: " + line);
     }
     if (!trim(std::string_view(rhs).substr(close + 1)).empty()) {
-      return Status::error("line " + std::to_string(line_no) +
+      return Status::invalid_argument("line " + std::to_string(line_no) +
                            ": trailing text after gate definition: " + line);
     }
     auto func = func_from_name(trim(std::string_view(rhs).substr(0, open)), line_no);
@@ -140,7 +140,7 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
         if (comma == std::string::npos) comma = args.size();
         const std::string arg = trim(std::string_view(args).substr(pos, comma - pos));
         if (arg.empty()) {
-          return Status::error("line " + std::to_string(line_no) +
+          return Status::invalid_argument("line " + std::to_string(line_no) +
                                ": empty fanin argument (stray comma?): " + line);
         }
         def.fanins.push_back(arg);
@@ -149,10 +149,10 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
       }
     }
     if (def.fanins.empty()) {
-      return Status::error("line " + std::to_string(line_no) + ": gate with no fanins");
+      return Status::invalid_argument("line " + std::to_string(line_no) + ": gate with no fanins");
     }
     if (defs.contains(target)) {
-      return Status::error("line " + std::to_string(line_no) + ": signal '" + target +
+      return Status::invalid_argument("line " + std::to_string(line_no) + ": signal '" + target +
                            "' defined twice");
     }
     defs.emplace(target, std::move(def));
@@ -162,9 +162,9 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
   Netlist nl(std::move(name));
   std::unordered_map<std::string, GateId> ids;
   for (const auto& [in, line] : input_names) {
-    if (ids.contains(in)) return Status::error("input '" + in + "' declared twice");
+    if (ids.contains(in)) return Status::invalid_argument("input '" + in + "' declared twice");
     if (defs.contains(in)) {
-      return Status::error("signal '" + in + "' is both an INPUT and a gate output");
+      return Status::invalid_argument("signal '" + in + "' is both an INPUT and a gate output");
     }
     ids.emplace(in, nl.add_input(in));
     if (provenance != nullptr) provenance->line_of.emplace(in, line);
@@ -179,7 +179,7 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
     if (const auto it = ids.find(signal); it != ids.end()) return it->second;
     const auto def_it = defs.find(signal);
     if (def_it == defs.end()) {
-      if (failure.ok()) failure = Status::error("undefined signal '" + signal + "'");
+      if (failure.ok()) failure = Status::invalid_argument("undefined signal '" + signal + "'");
       return netlist::kNoGate;
     }
     if (state[signal] == 1) {
@@ -195,7 +195,7 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
           if (!path.empty()) path += " -> ";
           path += s;
         }
-        failure = Status::error("line " + std::to_string(def_it->second.line) +
+        failure = Status::invalid_argument("line " + std::to_string(def_it->second.line) +
                                 ": combinational cycle: " + path);
         if (provenance != nullptr) provenance->cycle = std::move(cycle);
       }
@@ -235,7 +235,7 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
     const GateId id = resolve(out);
     if (!failure.ok()) return failure;
     if (id == netlist::kNoGate) {
-      return Status::error("line " + std::to_string(line) + ": undefined output '" + out + "'");
+      return Status::invalid_argument("line " + std::to_string(line) + ": undefined output '" + out + "'");
     }
     nl.add_output(out, id);
     if (provenance != nullptr) provenance->line_of.emplace(out, line);
@@ -247,7 +247,7 @@ StatusOr<Netlist> read_bench(std::string_view text, std::string name,
 
 StatusOr<Netlist> read_bench_file(const std::string& path, Provenance* provenance) {
   std::ifstream file(path);
-  if (!file) return Status::error("cannot open " + path);
+  if (!file) return Status::invalid_argument("cannot open " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   std::string name = path;

@@ -10,7 +10,7 @@ namespace statsizer::bench_format {
 namespace {
 
 Status err(int line, const std::string& what) {
-  return Status::error("line " + std::to_string(line) + ": " + what);
+  return Status::invalid_argument("line " + std::to_string(line) + ": " + what);
 }
 
 /// Tokens of one SDC line: words, '[', ']', and brace-quoted literals
@@ -224,7 +224,7 @@ StatusOr<Sdc> read_sdc(std::string_view text) {
 
 StatusOr<Sdc> read_sdc_file(const std::string& path) {
   std::ifstream file(path);
-  if (!file) return Status::error("cannot open " + path);
+  if (!file) return Status::invalid_argument("cannot open " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return read_sdc(buffer.str());

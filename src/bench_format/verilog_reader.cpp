@@ -17,7 +17,7 @@ using netlist::Netlist;
 namespace {
 
 Status err(int line, const std::string& what) {
-  return Status::error("line " + std::to_string(line) + ": " + what);
+  return Status::invalid_argument("line " + std::to_string(line) + ": " + what);
 }
 
 /// Character-level lexer over comment-stripped text. Identifiers are liberal
@@ -277,7 +277,7 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
     if (auto p = expect_punct(";"); !p.ok()) return p.status();
     instances.push_back(std::move(inst));
   }
-  if (!saw_endmodule) return Status::error("missing 'endmodule'");
+  if (!saw_endmodule) return Status::invalid_argument("missing 'endmodule'");
 
   // Header ports and directional declarations must agree.
   if (!header_ports.empty()) {
@@ -456,7 +456,7 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
     }
     const auto def_it = driven.find(net);
     if (def_it == driven.end()) {
-      if (failure.ok()) failure = Status::error("net '" + net + "' has no driver");
+      if (failure.ok()) failure = Status::invalid_argument("net '" + net + "' has no driver");
       return netlist::kNoGate;
     }
     if (state[net] == 1) {
@@ -472,7 +472,7 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
           if (!path.empty()) path += " -> ";
           path += s;
         }
-        failure = Status::error("line " + std::to_string(def_it->second.inst->line) +
+        failure = Status::invalid_argument("line " + std::to_string(def_it->second.inst->line) +
                                 ": combinational cycle: " + path);
         if (provenance != nullptr) provenance->cycle = std::move(cycle);
       }
@@ -533,7 +533,7 @@ StatusOr<Netlist> read_verilog(std::string_view text, const liberty::Library& li
 StatusOr<Netlist> read_verilog_file(const std::string& path, const liberty::Library& lib,
                                     Provenance* provenance) {
   std::ifstream file(path);
-  if (!file) return Status::error("cannot open " + path);
+  if (!file) return Status::invalid_argument("cannot open " + path);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   if (provenance != nullptr) provenance->file = path;

@@ -1,5 +1,6 @@
 #include "core/flow.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -10,6 +11,7 @@
 #include "bench_format/verilog_reader.h"
 #include "bench_format/verilog_writer.h"
 #include "circuits/iscas_suite.h"
+#include "serve/job.h"
 #include "util/thread_pool.h"
 
 namespace statsizer::core {
@@ -27,7 +29,7 @@ Status Flow::adopt_circuit(netlist::Netlist nl) {
   last_drc_ = drc::check_netlist(nl, options_.drc, &provenance_);
   if (last_drc_.has_errors()) {
     const drc::Diagnostic& d = *last_drc_.first_error();
-    return Status::error(std::string(drc::rule_id(d.rule)) + ": " + d.message);
+    return Status::invalid_argument(std::string(drc::rule_id(d.rule)) + ": " + d.message);
   }
   if (const Status s = nl.check(); !s.ok()) return s;
   auto owned = std::make_unique<netlist::Netlist>(std::move(nl));
@@ -57,7 +59,7 @@ Status Flow::load_table1(std::string_view name) {
   try {
     return load_circuit(circuits::make_table1_circuit(name));
   } catch (const std::invalid_argument& e) {
-    return Status::error(e.what());
+    return Status::invalid_argument(e.what());
   }
 }
 
@@ -97,7 +99,7 @@ StatusOr<sta::TimingConstraints> to_constraints(const bench_format::Sdc& sdc,
       for (const std::string& port : entry.ports) {
         const netlist::GateId id = nl.find(port);
         if (id == netlist::kNoGate || !nl.is_input(id)) {
-          return Status::error("set_input_delay: '" + port + "' is not a primary input of " +
+          return Status::invalid_argument("set_input_delay: '" + port + "' is not a primary input of " +
                                nl.name());
         }
         c.input_arrival_ps[id] = entry.delay_ps;
@@ -119,7 +121,7 @@ StatusOr<sta::TimingConstraints> to_constraints(const bench_format::Sdc& sdc,
       for (const std::string& port : entry.ports) {
         const auto it = output_index.find(port);
         if (it == output_index.end()) {
-          return Status::error("set_output_delay: '" + port + "' is not a primary output of " +
+          return Status::invalid_argument("set_output_delay: '" + port + "' is not a primary output of " +
                                nl.name());
         }
         c.output_delay_ps[it->second] = entry.delay_ps;
@@ -132,7 +134,7 @@ StatusOr<sta::TimingConstraints> to_constraints(const bench_format::Sdc& sdc,
 }  // namespace
 
 Status Flow::apply_sdc(std::string_view text) {
-  if (!has_circuit()) return Status::error("apply_sdc: no circuit loaded");
+  if (!has_circuit()) return Status::invalid_argument("apply_sdc: no circuit loaded");
   auto sdc = bench_format::read_sdc(text);
   if (!sdc.ok()) return sdc.status();
   auto constraints = to_constraints(*sdc, *netlist_);
@@ -144,7 +146,7 @@ Status Flow::apply_sdc(std::string_view text) {
 }
 
 Status Flow::apply_sdc_file(const std::string& path) {
-  if (!has_circuit()) return Status::error("apply_sdc_file: no circuit loaded");
+  if (!has_circuit()) return Status::invalid_argument("apply_sdc_file: no circuit loaded");
   auto sdc = bench_format::read_sdc_file(path);
   if (!sdc.ok()) return sdc.status();
   auto constraints = to_constraints(*sdc, *netlist_);
@@ -171,7 +173,7 @@ void Flow::require_clean(const char* stage) {
 }
 
 Status Flow::write_verilog_file(const std::string& path) const {
-  if (!has_circuit()) return Status::error("write_verilog_file: no circuit loaded");
+  if (!has_circuit()) return Status::invalid_argument("write_verilog_file: no circuit loaded");
   return bench_format::write_verilog_file(*netlist_, library_, path);
 }
 
@@ -291,39 +293,57 @@ OptimizationRecord Flow::optimize(double lambda,
 
 std::vector<MonteCarloJobResult> Flow::run_monte_carlo_batch(
     const std::vector<MonteCarloJob>& jobs, std::size_t threads,
-    const FlowOptions& options) {
+    const FlowOptions& options, const util::FaultPlan* faults) {
   std::vector<MonteCarloJobResult> results(jobs.size());
-  // The pool parallelizes across jobs; inner parallelism (Monte-Carlo
-  // sharding, sizer candidate scoring) is pinned to 1 to avoid
-  // oversubscription. Determinism makes the two equivalent result-wise.
+  // The manager parallelizes across jobs; inner parallelism (Monte-Carlo
+  // sharding, sizer candidate scoring) is pinned to 1 — partly to avoid
+  // oversubscription, partly so every kernel runs its inline deterministic
+  // path, where cooperative checkpoints (cancellation, deadlines, fault
+  // injection) have full coverage. Determinism makes 1 and N threads
+  // equivalent result-wise.
   FlowOptions job_options = options;
   job_options.sizer_threads = 1;
-  // Chunk size 1: jobs are coarse-grained (seconds each) and heterogeneous,
-  // so per-job scheduling is what load-balances the pool.
-  util::parallel_for(jobs.size(), 1, threads,
-                     [&](std::size_t begin, std::size_t end, std::size_t) {
-                       for (std::size_t j = begin; j < end; ++j) {
-                         const MonteCarloJob& job = jobs[j];
-                         MonteCarloJobResult& out = results[j];
-                         // Per-job error isolation: one failing job must not
-                         // take down the other jobs' results.
-                         try {
-                           Flow flow(job_options);
-                           out.status = flow.load_table1(job.table1_name);
-                           if (!out.status.ok()) continue;
-                           (void)flow.run_baseline();
-                           if (job.lambda.has_value()) {
-                             out.record = flow.optimize(*job.lambda);
-                           }
-                           ssta::MonteCarloOptions mc = job.mc;
-                           mc.threads = 1;  // the pool parallelizes across jobs
-                           out.mc = ssta::run_monte_carlo(flow.timing(), mc);
-                         } catch (const std::exception& e) {
-                           out.status = Status::error(std::string("job failed: ") + e.what());
-                           out.record.reset();
-                         }
-                       }
-                     });
+  serve::JobManagerOptions manager_options;
+  manager_options.threads = threads;
+  // Batch mode admits everything: admission control is a serving concern.
+  manager_options.limits.max_queue_depth = std::max<std::size_t>(jobs.size(), 1);
+  manager_options.faults = faults;
+  serve::JobManager manager(manager_options);
+
+  std::vector<serve::JobRef> handles(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    serve::JobOptions job_opts;
+    job_opts.fault_scope = j;  // fault plans address jobs by batch index
+    handles[j] = manager.submit(
+        [&jobs, &results, &job_options, j] {
+          const MonteCarloJob& job = jobs[j];
+          MonteCarloJobResult& out = results[j];
+          out = MonteCarloJobResult{};  // re-runnable under retry
+          Flow flow(job_options);
+          if (Status s = flow.load_table1(job.table1_name); !s.ok()) {
+            throw StatusError(std::move(s));  // keeps kInvalidArgument
+          }
+          (void)flow.run_baseline();
+          if (job.lambda.has_value()) {
+            out.record = flow.optimize(*job.lambda);
+          }
+          ssta::MonteCarloOptions mc = job.mc;
+          mc.threads = 1;  // the manager parallelizes across jobs
+          out.mc = ssta::run_monte_carlo(flow.timing(), mc);
+        },
+        job_opts);
+  }
+  manager.wait_all();
+
+  // Per-job error isolation: a failed job carries its structured Status and
+  // empty payloads; siblings are untouched (bitwise-identical to a clean run).
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    results[j].status = handles[j]->status();
+    if (!results[j].status.ok()) {
+      results[j].mc = ssta::MonteCarloResult{};
+      results[j].record.reset();
+    }
+  }
   return results;
 }
 

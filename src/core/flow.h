@@ -34,6 +34,7 @@
 #include "ssta/monte_carlo.h"
 #include "techmap/mapper.h"
 #include "timing/analyzer.h"
+#include "util/fault.h"
 #include "util/status.h"
 #include "variation/model.h"
 
@@ -185,13 +186,18 @@ class Flow {
   // -- batch analysis ---------------------------------------------------------
   /// Evaluates many (circuit, lambda) points concurrently: each job gets its
   /// own Flow (load_table1 -> run_baseline -> optional optimize) and a
-  /// Monte-Carlo run of the resulting circuit. Jobs execute on a thread pool
-  /// (@p threads; 0 = hardware concurrency) and each job's Monte Carlo runs
-  /// serially inside it to avoid oversubscription. Results are index-aligned
-  /// with @p jobs and deterministic for any thread count.
+  /// Monte-Carlo run of the resulting circuit. Jobs run through the general
+  /// async job system (serve::JobManager; @p threads workers, 0 = hardware
+  /// concurrency) with per-job error isolation — any failure becomes that
+  /// job's structured Status (its code classifying parse errors vs injected
+  /// faults vs internal exceptions) and never perturbs sibling results.
+  /// Each job's Monte Carlo runs serially inside it to avoid
+  /// oversubscription. Results are index-aligned with @p jobs and
+  /// deterministic for any thread count. @p faults optionally installs a
+  /// deterministic fault-injection plan; job i reports fault scope i.
   [[nodiscard]] static std::vector<MonteCarloJobResult> run_monte_carlo_batch(
       const std::vector<MonteCarloJob>& jobs, std::size_t threads = 0,
-      const FlowOptions& options = {});
+      const FlowOptions& options = {}, const util::FaultPlan* faults = nullptr);
 
   // -- analysis ----------------------------------------------------------------
   /// Timing yield Y(T) = P(circuit delay <= T) of the current state.

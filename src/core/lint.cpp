@@ -73,7 +73,7 @@ LintResult lint_file(const std::string& path, const LintOptions& options) {
   } else {
     LintResult result;
     result.status =
-        Status::error("lint_file: unsupported extension '" + ext + "' (want .bench or .v)");
+        Status::invalid_argument("lint_file: unsupported extension '" + ext + "' (want .bench or .v)");
     return result;
   }
   if (!load.ok()) {

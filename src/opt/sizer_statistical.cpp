@@ -9,6 +9,7 @@
 
 #include "netlist/subcircuit.h"
 #include "timing/analyzer.h"
+#include "util/exec.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
@@ -290,6 +291,9 @@ StatisticalSizerStats size_statistically(sta::TimingContext& ctx,
   };
 
   for (stats.iterations = 0; stats.iterations < options.max_iterations; ++stats.iterations) {
+    // Cooperative control per greedy iteration (serial, on the calling
+    // thread): long sizing jobs honor deadlines/cancellation between moves.
+    util::checkpoint("opt/sizer/iteration");
     if (options.target_sigma_ps.has_value() && full->sigma_ps <= *options.target_sigma_ps) {
       stats.constraints_met = true;
       break;

@@ -4,6 +4,7 @@
 
 #include "debug/validate.h"
 #include "util/check.h"
+#include "util/exec.h"
 
 namespace statsizer::ssta {
 
@@ -56,8 +57,15 @@ FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions
     arrival[id] = std::move(acc);
   };
 
+  // Cooperative control at wavefront granularity (see util/exec.h): one
+  // checkpoint per level on the calling thread, or a fixed gate stride on
+  // the serial path. Value-neutral — aborts or stalls only.
   if (options.threads == 1) {
-    for (const GateId id : ctx.topo_order()) propagate_gate(id);
+    std::size_t propagated = 0;
+    for (const GateId id : ctx.topo_order()) {
+      if ((propagated++ & 0xFF) == 0) util::checkpoint("ssta/fullssta/level");
+      propagate_gate(id);
+    }
   } else {
     // Levelized wavefront: gates of one level are independent (all fanins
     // live in strictly lower levels), so each level fans across the pool and
@@ -66,6 +74,7 @@ FullSstaResult run_fullssta(const sta::TimingContext& ctx, const FullSstaOptions
     const netlist::Levelization& lv = ctx.levelization();
     const std::size_t cutoff = ctx.options().min_level_width_for_parallel;
     for (std::size_t l = 0; l < lv.level_count(); ++l) {
+      util::checkpoint("ssta/fullssta/level");
       const std::span<const GateId> level = lv.level(l);
       // Chunk size 1: per-gate pdf convolutions are heavy (~samples^2 work
       // each), so per-gate scheduling load-balances best.

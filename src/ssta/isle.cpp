@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/exec.h"
 #include "util/numeric.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -352,6 +353,10 @@ IsleResult run_isle(const sta::TimingContext& ctx, const IsleOptions& options) {
   std::size_t failures_seen = 0;
   std::size_t drawn = 0;
   while (drawn < cap) {
+    // Cooperative control at batch granularity, always on the calling
+    // thread: the batch sequence is a pure function of the options, so
+    // fault-injection hit counts stay deterministic for any thread count.
+    util::checkpoint("ssta/isle/batch");
     const std::size_t count = std::min(batch, cap - drawn);
     result.delay_samples.resize(drawn + count);
     result.weights.resize(drawn + count);

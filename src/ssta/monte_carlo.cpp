@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "util/exec.h"
 #include "util/numeric.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -44,9 +45,19 @@ MonteCarloResult run_monte_carlo(const sta::TimingContext& ctx,
   std::map<std::size_t, std::vector<util::RunningStats>> pending;
   if (options.per_node_stats) node_stats.resize(nl.node_count());
 
+  // Cooperative control at sample-chunk granularity, but only when the
+  // chunk loop runs inline in deterministic order (threads == 1, the
+  // serving layer's configuration): with pool workers in play the caller
+  // would drain a scheduling-dependent subset of chunks, making fault-
+  // injection hit counts nondeterministic. Workers carry no ExecContext, so
+  // gating on the option (not the thread identity) keeps the semantics
+  // explicit.
+  const bool cooperative = options.threads == 1;
+
   util::parallel_for(
       options.samples, kChunkSamples, options.threads,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        if (cooperative) util::checkpoint("ssta/mc/chunk");
         std::vector<double> arrival(nl.node_count(), 0.0);
         std::vector<util::RunningStats> local_node_stats;
         std::vector<util::RunningStats>* node_stats_ptr = nullptr;

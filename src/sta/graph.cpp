@@ -6,6 +6,7 @@
 #include "debug/validate.h"
 #include "netlist/topo.h"
 #include "util/check.h"
+#include "util/exec.h"
 #include "util/thread_pool.h"
 
 namespace statsizer::sta {
@@ -151,11 +152,20 @@ void TimingContext::update() {
   // Parallel: a levelized wavefront — all fanins of a level-l gate live in
   // strictly lower levels, so within a level gates only read finished slews
   // and write their own slots; levels form the barriers.
+  // Cooperative control: the wavefront path checkpoints once per level on
+  // the calling thread; the serial path matches that granularity with a
+  // fixed gate stride. Checkpoints only abort or stall (see util/exec.h) —
+  // never change values — so the bitwise contracts hold.
   if (threads == 1) {
-    for (const GateId id : order_) relax_gate(id);
+    std::size_t relaxed = 0;
+    for (const GateId id : order_) {
+      if ((relaxed++ & 0xFF) == 0) util::checkpoint("sta/update/level");
+      relax_gate(id);
+    }
     return;
   }
   for (std::size_t l = 0; l < levels_.level_count(); ++l) {
+    util::checkpoint("sta/update/level");
     const std::span<const GateId> level = levels_.level(l);
     run_wavefront_level(level, level.size(), options_.min_level_width_for_parallel,
                         kRelaxChunk, threads, [this](GateId id) { relax_gate(id); });

@@ -1,0 +1,62 @@
+#include "util/exec.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace statsizer::util {
+
+namespace {
+thread_local ExecContext* tls_exec_context = nullptr;
+}  // namespace
+
+std::optional<std::chrono::milliseconds> ExecContext::remaining() const {
+  if (!deadline.has_value()) return std::nullopt;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= *deadline) return std::chrono::milliseconds(0);
+  return std::chrono::duration_cast<std::chrono::milliseconds>(*deadline - now);
+}
+
+ScopedExecContext::ScopedExecContext(ExecContext& context) : previous_(tls_exec_context) {
+  tls_exec_context = &context;
+}
+
+ScopedExecContext::~ScopedExecContext() { tls_exec_context = previous_; }
+
+ScopedExecSuspend::ScopedExecSuspend() : previous_(tls_exec_context) {
+  tls_exec_context = nullptr;
+}
+
+ScopedExecSuspend::~ScopedExecSuspend() { tls_exec_context = previous_; }
+
+ExecContext* current_exec_context() { return tls_exec_context; }
+
+void checkpoint(const char* site) {
+  ExecContext* ctx = tls_exec_context;
+  if (ctx == nullptr) return;
+
+  if (ctx->faults != nullptr && !ctx->faults->empty()) {
+    const std::uint64_t hit = ++ctx->site_hits[site];
+    for (const FaultRule& rule : ctx->faults->rules) {
+      if (!fault_rule_fires(rule, ctx->faults->seed, site, ctx->fault_scope, hit)) continue;
+      if (rule.delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(rule.delay_ms));
+      }
+      if (rule.fail) {
+        std::string message = rule.message.empty()
+                                  ? "injected fault at " + std::string(site)
+                                  : rule.message;
+        throw StatusError(Status::error(std::move(message), rule.code));
+      }
+    }
+  }
+
+  if (ctx->cancel.cancelled()) {
+    throw StatusError(Status::cancelled(std::string("cancelled at ") + site));
+  }
+  if (ctx->deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *ctx->deadline) {
+    throw StatusError(Status::deadline_exceeded(std::string("deadline exceeded at ") + site));
+  }
+}
+
+}  // namespace statsizer::util

@@ -1,0 +1,118 @@
+#include "util/fault.h"
+
+#include <charconv>
+
+#include "util/rng.h"
+
+namespace statsizer::util {
+
+namespace {
+
+[[nodiscard]] bool site_matches(std::string_view pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return site.substr(0, pattern.size() - 1) == pattern.substr(0, pattern.size() - 1);
+  }
+  return pattern == site;
+}
+
+[[nodiscard]] StatusOr<std::uint64_t> parse_u64(std::string_view key, std::string_view v) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size()) {
+    return Status::invalid_argument("fault rule: bad integer for '" + std::string(key) +
+                                    "': '" + std::string(v) + "'");
+  }
+  return out;
+}
+
+[[nodiscard]] StatusOr<StatusCode> parse_code(std::string_view v) {
+  for (const StatusCode c :
+       {StatusCode::kInvalidArgument, StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kResourceExhausted, StatusCode::kUnavailable, StatusCode::kInternal}) {
+    if (v == to_string(c)) return c;
+  }
+  return Status::invalid_argument("fault rule: unknown code '" + std::string(v) + "'");
+}
+
+}  // namespace
+
+StatusOr<FaultRule> parse_fault_rule(std::string_view spec) {
+  FaultRule rule;
+  bool have_site = false;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = eq == std::string_view::npos ? "" : pair.substr(eq + 1);
+    if (key == "site") {
+      if (value.empty()) return Status::invalid_argument("fault rule: empty site");
+      rule.site = std::string(value);
+      have_site = true;
+    } else if (key == "scope") {
+      if (value == "*") {
+        rule.scope = kAnyScope;
+      } else {
+        auto v = parse_u64(key, value);
+        if (!v.ok()) return v.status();
+        rule.scope = *v;
+      }
+    } else if (key == "hit") {
+      auto v = parse_u64(key, value);
+      if (!v.ok()) return v.status();
+      rule.hit = *v;
+    } else if (key == "p") {
+      // std::from_chars(double) is still spotty across libstdc++ versions;
+      // stod on a bounded copy is fine for a CLI flag.
+      try {
+        std::size_t used = 0;
+        rule.probability = std::stod(std::string(value), &used);
+        if (used != value.size()) throw std::invalid_argument("trailing junk");
+      } catch (const std::exception&) {
+        return Status::invalid_argument("fault rule: bad probability '" + std::string(value) +
+                                        "'");
+      }
+      if (rule.probability < 0.0 || rule.probability > 1.0) {
+        return Status::invalid_argument("fault rule: probability out of [0,1]");
+      }
+    } else if (key == "delay_ms") {
+      auto v = parse_u64(key, value);
+      if (!v.ok()) return v.status();
+      rule.delay_ms = static_cast<std::uint32_t>(*v);
+    } else if (key == "code") {
+      auto c = parse_code(value);
+      if (!c.ok()) return c.status();
+      rule.code = *c;
+    } else if (key == "msg") {
+      rule.message = std::string(value);
+    } else if (key == "delay_only") {
+      rule.fail = false;
+    } else {
+      return Status::invalid_argument("fault rule: unknown key '" + std::string(key) +
+                                      "' (known: site scope hit p delay_ms code msg "
+                                      "delay_only)");
+    }
+  }
+  if (!have_site) return Status::invalid_argument("fault rule: missing site=...");
+  return rule;
+}
+
+bool fault_rule_fires(const FaultRule& rule, std::uint64_t plan_seed, std::string_view site,
+                      std::uint64_t scope, std::uint64_t hit_index) {
+  if (!site_matches(rule.site, site)) return false;
+  if (rule.scope != kAnyScope && rule.scope != scope) return false;
+  if (rule.hit != 0 && rule.hit != hit_index) return false;
+  if (rule.probability >= 1.0) return true;
+  if (rule.probability <= 0.0) return false;
+  // Counter-based Bernoulli: the draw depends only on (seed, site, scope,
+  // hit) — never on threads or call order elsewhere in the process.
+  const std::uint64_t r =
+      stream_seed(plan_seed, fnv1a(site) ^ (scope * 0x9e3779b97f4a7c15ULL) ^ hit_index);
+  const double u = static_cast<double>(r >> 11) * 0x1.0p-53;
+  return u < rule.probability;
+}
+
+}  // namespace statsizer::util

@@ -1,0 +1,96 @@
+// Deterministic fault injection for the serving/robustness test surface.
+//
+// Production code is sprinkled with named *sites* — every util::checkpoint()
+// call is one — and a FaultPlan describes which sites should misbehave:
+// throw a structured StatusError, or stall for a fixed delay (to make a
+// cooperative deadline trip on the next checkpoint). The layer is compiled
+// in always and enabled purely by options: with no plan installed a
+// checkpoint is a thread-local pointer read and a branch.
+//
+// Determinism contract: whether a given checkpoint visit faults is a pure
+// function of (plan seed, site name, fault scope, per-scope hit index) — the
+// hit index is counted inside the ExecContext that scopes one job, never in
+// global state — so a poisoned job faults at exactly the same point of its
+// execution regardless of thread count, scheduling, or what sibling jobs are
+// doing. This is what lets the isolation tests pin "all sibling results
+// bitwise-identical to a fault-free run".
+//
+// The site registry (every name the library currently publishes) lives in
+// docs/ARCHITECTURE.md, "Serving" -> "Fault-injection sites".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace statsizer::util {
+
+/// FNV-1a, the stable site-name hash feeding the fault Bernoulli stream.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Matches any fault scope (FaultRule::scope wildcard).
+inline constexpr std::uint64_t kAnyScope = ~0ULL;
+
+/// One injection rule. A rule fires when a checkpoint's site matches, the
+/// active scope matches, the per-scope hit count matches, and the
+/// deterministic Bernoulli draw (for probability < 1) comes up true.
+struct FaultRule {
+  /// Site to match: exact name, or a prefix when it ends in '*'
+  /// ("serve/job/*" matches every job-runner site).
+  std::string site;
+  /// Fault scope to match; kAnyScope matches every scope. The job system
+  /// scopes each job by its submission sequence number (overridable), so a
+  /// single job can be poisoned while its siblings run clean.
+  std::uint64_t scope = kAnyScope;
+  /// 1-based Nth matching visit within the scope that triggers; 0 = every
+  /// visit.
+  std::uint64_t hit = 1;
+  /// Trigger probability, drawn deterministically from
+  /// stream_seed(plan.seed, fnv1a(site) ^ scope ^ hit-index).
+  double probability = 1.0;
+  /// Stall before (optionally) failing — how deadline tests make a job
+  /// reliably overrun its budget at a named point.
+  std::uint32_t delay_ms = 0;
+  /// When false the rule only delays; when true it throws
+  /// StatusError(Status(code, message)).
+  bool fail = true;
+  StatusCode code = StatusCode::kUnavailable;
+  /// Empty = "injected fault at <site>".
+  std::string message;
+};
+
+/// A seeded set of rules. Installed per execution scope via
+/// util::ExecContext (see exec.h); never global mutable state.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+};
+
+/// Parses a rule from a CLI spec: comma-separated key=value pairs.
+///   site=serve/job/start,scope=2,hit=1,p=0.5,delay_ms=50,code=unavailable
+/// Keys: site (required), scope (integer or "*"), hit, p, delay_ms,
+/// code (invalid_argument|deadline_exceeded|cancelled|resource_exhausted|
+/// unavailable|internal), msg, delay_only (flag: fail=false).
+/// Returns kInvalidArgument for unknown keys / malformed values.
+[[nodiscard]] StatusOr<FaultRule> parse_fault_rule(std::string_view spec);
+
+/// Decides whether @p rule fires on this visit. @p hit_index is the 1-based
+/// per-scope visit count of the site. Pure function (the Bernoulli draw is
+/// counter-based), exposed for tests.
+[[nodiscard]] bool fault_rule_fires(const FaultRule& rule, std::uint64_t plan_seed,
+                                    std::string_view site, std::uint64_t scope,
+                                    std::uint64_t hit_index);
+
+}  // namespace statsizer::util

@@ -1,0 +1,329 @@
+#include "util/json.h"
+
+#include <cctype>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace statsizer::util {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no inf/nan; null is the least-lying encoding
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> run() {
+    auto v = value(0);
+    if (!v.ok()) return v.status();
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return v;
+  }
+
+ private:
+  Status fail(const std::string& what) const {
+    return Status::invalid_argument("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': {
+        auto s = string();
+        if (!s.ok()) return s.status();
+        return Json(*std::move(s));
+      }
+      case 't':
+        if (consume_word("true")) return Json(true);
+        return fail("bad literal");
+      case 'f':
+        if (consume_word("false")) return Json(false);
+        return fail("bad literal");
+      case 'n':
+        if (consume_word("null")) return Json(nullptr);
+        return fail("bad literal");
+      default: return number();
+    }
+  }
+
+  StatusOr<Json> object(int depth) {
+    ++pos_;  // '{'
+    Json::Object out;
+    skip_ws();
+    if (consume('}')) return Json(std::move(out));
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      auto key = string();
+      if (!key.ok()) return key.status();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      auto v = value(depth + 1);
+      if (!v.ok()) return v.status();
+      out.insert_or_assign(*std::move(key), *std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Json(std::move(out));
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  StatusOr<Json> array(int depth) {
+    ++pos_;  // '['
+    Json::Array out;
+    skip_ws();
+    if (consume(']')) return Json(std::move(out));
+    for (;;) {
+      auto v = value(depth + 1);
+      if (!v.ok()) return v.status();
+      out.push_back(*std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Json(std::move(out));
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<std::string> string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("bad escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          auto cp = hex4();
+          if (!cp.ok()) return cp.status();
+          std::uint32_t code = *cp;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair: require the low half.
+            if (!consume('\\') || !consume('u')) return fail("unpaired surrogate");
+            auto lo = hex4();
+            if (!lo.ok()) return lo.status();
+            if (*lo < 0xDC00 || *lo > 0xDFFF) return fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (*lo - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  StatusOr<std::uint32_t> hex4() {
+    if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  StatusOr<Json> number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("unexpected character");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      pos_ = start;
+      return fail("bad number");
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& o = as_object();
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  return std::get<Object>(value_)[key];
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::string Json::dump() const {
+  std::string out;
+  struct Visitor {
+    std::string& out;
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(double d) const { append_number(out, d); }
+    void operator()(const std::string& s) const { append_escaped(out, s); }
+    void operator()(const Array& a) const {
+      out += '[';
+      bool first = true;
+      for (const Json& v : a) {
+        if (!first) out += ',';
+        first = false;
+        out += v.dump();
+      }
+      out += ']';
+    }
+    void operator()(const Object& o) const {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, k);
+        out += ':';
+        out += v.dump();
+      }
+      out += '}';
+    }
+  };
+  std::visit(Visitor{out}, value_);
+  return out;
+}
+
+StatusOr<Json> Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace statsizer::util

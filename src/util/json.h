@@ -1,0 +1,86 @@
+// Minimal JSON value + parser/serializer for the newline-JSON server
+// protocol (serve/server.cpp) and its tests. Deliberately small:
+//
+//   - Objects are std::map (ordered) so dump() output is deterministic and
+//     iteration never trips the unordered-iter determinism rule.
+//   - Numbers are double (the protocol's ids/counters fit in 2^53).
+//   - parse() is a recursive-descent parser with a hard nesting-depth cap —
+//     a hostile request must come back as kInvalidArgument, never as a stack
+//     overflow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace statsizer::util {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() : value_(nullptr) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): value types convert freely.
+  Json(std::nullptr_t) : value_(nullptr) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(bool b) : value_(b) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(double d) : value_(d) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(int i) : value_(static_cast<double>(i)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}  // also size_t on LP64
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::string s) : value_(std::move(s)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(std::string_view s) : value_(std::string(s)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(const char* s) : value_(std::string(s)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(Array a) : value_(std::move(a)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Preconditions: the matching is_*() holds.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(value_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(value_); }
+
+  /// Object member lookup; nullptr when absent or when this is not an
+  /// object. The returned pointer is invalidated by mutation.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Builder access: makes this an object / array if currently null.
+  Json& operator[](const std::string& key);
+  void push_back(Json v);
+
+  /// Compact serialization (no whitespace), deterministic member order.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses one JSON value; trailing non-whitespace is an error. Errors are
+  /// kInvalidArgument with a byte offset.
+  [[nodiscard]] static StatusOr<Json> parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace statsizer::util

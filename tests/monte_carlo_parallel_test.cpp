@@ -1,8 +1,11 @@
 // Parallel Monte-Carlo SSTA: the sharded engine must be bitwise-identical to
 // the serial one for any thread count (counter-based per-sample RNG streams),
 // and its moments must track analytic expectations on a max-free circuit.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -186,6 +189,34 @@ TEST(ParallelFor, PropagatesExceptions) {
                            if (begin == 32) throw std::runtime_error("boom");
                          }),
       std::runtime_error);
+}
+
+// Regression: the throwing chunk must land on a *pool worker* (the plain
+// test above can be satisfied by the calling thread draining every chunk).
+// An uncaught exception on a worker would std::terminate; the contract is
+// capture-and-rethrow on the calling thread. The caller's chunks spin until
+// a worker has taken the poisoned chunk, so the throw provably happens on a
+// worker thread.
+TEST(ParallelFor, PropagatesExceptionsFromWorkerThreads) {
+  std::atomic<bool> worker_threw{false};
+  try {
+    util::parallel_for(64, 4, 4, [&](std::size_t, std::size_t, std::size_t) {
+      if (util::ThreadPool::in_worker()) {
+        // First worker-executed chunk throws, whichever chunk that is.
+        if (!worker_threw.exchange(true)) throw std::runtime_error("boom on worker");
+        return;
+      }
+      // Calling thread: wait until the worker-side throw happened (bounded,
+      // so a regression fails the assertion instead of hanging the suite).
+      for (int spin = 0; spin < 10'000 && !worker_threw.load(); ++spin) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+    FAIL() << "parallel_for swallowed the worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom on worker");
+  }
+  EXPECT_TRUE(worker_threw.load());
 }
 
 TEST(ThreadPool, RunsSubmittedTasks) {

@@ -1,9 +1,16 @@
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
 #include <utility>
 
 #include <gtest/gtest.h>
 
+#include "util/exec.h"
+#include "util/fault.h"
+#include "util/json.h"
 #include "util/log.h"
 #include "util/numeric.h"
 #include "util/rng.h"
@@ -410,6 +417,253 @@ TEST(Log, SuppressedStreamProducesNoOutput) {
   STATSIZER_DEBUG() << "optimizer pass " << 3;
   STATSIZER_INFO() << "mapped " << 128 << " gates";
   EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+
+// ---------------------------------------------------------------------------
+// Status codes
+// ---------------------------------------------------------------------------
+
+TEST(StatusCodes, FactoriesCarryCanonicalCodes) {
+  EXPECT_EQ(Status().code(), StatusCode::kOk);
+  EXPECT_EQ(Status::error("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::deadline_exceeded("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::resource_exhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  // Messages are preserved verbatim across the factories.
+  EXPECT_EQ(Status::invalid_argument("exact message").message(), "exact message");
+}
+
+TEST(StatusCodes, WireSpellingsAreLowerSnakeCase) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_EQ(to_string(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(to_string(StatusCode::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_EQ(to_string(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "resource_exhausted");
+  EXPECT_EQ(to_string(StatusCode::kUnavailable), "unavailable");
+  EXPECT_EQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusCodes, OnlyUnavailableIsTransient) {
+  EXPECT_TRUE(Status::unavailable("x").transient());
+  EXPECT_FALSE(Status::resource_exhausted("x").transient());
+  EXPECT_FALSE(Status::deadline_exceeded("x").transient());
+  EXPECT_FALSE(Status::internal("x").transient());
+  EXPECT_FALSE(Status().transient());
+}
+
+TEST(StatusCodes, StatusErrorRoundTripsTheStatus) {
+  try {
+    throw StatusError(Status::resource_exhausted("queue full"));
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(e.status().message(), "queue full");
+    EXPECT_STREQ(e.what(), "queue full");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------------
+
+TEST(Json, DumpIsCompactAndKeyOrdered) {
+  Json j;
+  j["b"] = 2;
+  j["a"] = "x";
+  j["c"] = true;
+  j["d"] = nullptr;
+  EXPECT_EQ(j.dump(), R"({"a":"x","b":2,"c":true,"d":null})");
+}
+
+TEST(Json, ParsesRoundTrips) {
+  const std::string text =
+      R"({"arr":[1,2.5,-3],"nested":{"s":"he\u0041llo\n"},"t":true})";
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const Json& j = parsed.value();
+  ASSERT_TRUE(j.find("arr")->is_array());
+  EXPECT_DOUBLE_EQ(j.find("arr")->as_array()[1].as_number(), 2.5);
+  EXPECT_EQ(j.find("nested")->find("s")->as_string(), "heAllo\n");
+  // dump() -> parse() is the identity on the value.
+  auto reparsed = Json::parse(j.dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().dump(), j.dump());
+}
+
+TEST(Json, ParseErrorsAreInvalidArgumentWithOffset) {
+  for (const char* bad : {"{", "[1,", "tru", "\"unterminated", "{\"a\":}", "1 2"}) {
+    auto parsed = Json::parse(bad);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(parsed.status().message().find("offset"), std::string::npos) << bad;
+  }
+}
+
+TEST(Json, DepthBombIsRejectedNotOverflowed) {
+  std::string bomb;
+  for (int i = 0; i < 4000; ++i) bomb += '[';
+  auto parsed = Json::parse(bomb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  Json j;
+  j["inf"] = std::numeric_limits<double>::infinity();
+  j["nan"] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(j.dump(), R"({"inf":null,"nan":null})");
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, ParsesFullSpec) {
+  auto rule = parse_fault_rule(
+      "site=ssta/mc/chunk,scope=3,hit=2,p=0.5,delay_ms=7,code=deadline_exceeded,msg=kaboom");
+  ASSERT_TRUE(rule.ok()) << rule.status().message();
+  const FaultRule& r = rule.value();
+  EXPECT_EQ(r.site, "ssta/mc/chunk");
+  EXPECT_EQ(r.scope, 3u);
+  EXPECT_EQ(r.hit, 2u);
+  EXPECT_DOUBLE_EQ(r.probability, 0.5);
+  EXPECT_EQ(r.delay_ms, 7u);
+  EXPECT_TRUE(r.fail);
+  EXPECT_EQ(r.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.message, "kaboom");
+}
+
+TEST(FaultInjection, ParseRejectsJunk) {
+  EXPECT_FALSE(parse_fault_rule("").ok());
+  EXPECT_FALSE(parse_fault_rule("scope=1").ok());           // no site
+  EXPECT_FALSE(parse_fault_rule("site=x,hit=abc").ok());    // bad int
+  EXPECT_FALSE(parse_fault_rule("site=x,code=nope").ok());  // unknown code
+  EXPECT_FALSE(parse_fault_rule("site=x,bogus=1").ok());    // unknown key
+}
+
+TEST(FaultInjection, FiringIsDeterministicInSeedSiteScopeHit) {
+  FaultRule rule;
+  rule.site = "serve/job/start";
+  rule.scope = util::kAnyScope;
+  rule.hit = 0;  // every hit
+  rule.probability = 0.5;
+  int fired = 0;
+  std::vector<bool> pattern;
+  for (std::uint64_t h = 1; h <= 64; ++h) {
+    const bool f = fault_rule_fires(rule, 42, "serve/job/start", 7, h);
+    pattern.push_back(f);
+    fired += f ? 1 : 0;
+  }
+  // Roughly Bernoulli(1/2)...
+  EXPECT_GT(fired, 16);
+  EXPECT_LT(fired, 48);
+  // ...and exactly reproducible.
+  for (std::uint64_t h = 1; h <= 64; ++h) {
+    EXPECT_EQ(fault_rule_fires(rule, 42, "serve/job/start", 7, h), pattern[h - 1]);
+  }
+  // Different seed or scope gives an independent stream.
+  int diff_seed = 0;
+  int diff_scope = 0;
+  for (std::uint64_t h = 1; h <= 64; ++h) {
+    if (fault_rule_fires(rule, 43, "serve/job/start", 7, h) != pattern[h - 1]) ++diff_seed;
+    if (fault_rule_fires(rule, 42, "serve/job/start", 8, h) != pattern[h - 1]) ++diff_scope;
+  }
+  EXPECT_GT(diff_seed, 0);
+  EXPECT_GT(diff_scope, 0);
+}
+
+TEST(FaultInjection, SiteMatchingExactAndPrefix) {
+  FaultRule exact;
+  exact.site = "ssta/mc/chunk";
+  EXPECT_TRUE(fault_rule_fires(exact, 1, "ssta/mc/chunk", 0, 1));
+  EXPECT_FALSE(fault_rule_fires(exact, 1, "ssta/mc/chunkX", 0, 1));
+  FaultRule prefix;
+  prefix.site = "ssta/*";
+  EXPECT_TRUE(fault_rule_fires(prefix, 1, "ssta/mc/chunk", 0, 1));
+  EXPECT_TRUE(fault_rule_fires(prefix, 1, "ssta/fullssta/level", 0, 1));
+  EXPECT_FALSE(fault_rule_fires(prefix, 1, "sta/update/level", 0, 1));
+}
+
+TEST(FaultInjection, ScopeAndHitGating) {
+  FaultRule rule;
+  rule.site = "s";
+  rule.scope = 5;
+  rule.hit = 3;
+  EXPECT_FALSE(fault_rule_fires(rule, 1, "s", 4, 3));  // wrong scope
+  EXPECT_FALSE(fault_rule_fires(rule, 1, "s", 5, 2));  // wrong hit
+  EXPECT_TRUE(fault_rule_fires(rule, 1, "s", 5, 3));
+}
+
+// ---------------------------------------------------------------------------
+// ExecContext + checkpoint
+// ---------------------------------------------------------------------------
+
+TEST(ExecCheckpoint, NoOpWithoutContext) {
+  ASSERT_EQ(current_exec_context(), nullptr);
+  checkpoint("anything");  // must not throw
+}
+
+TEST(ExecCheckpoint, CancellationThrowsKCancelled) {
+  ExecContext ctx;
+  ctx.cancel.cancel();
+  const ScopedExecContext scope(ctx);
+  try {
+    checkpoint("unit/site");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+    EXPECT_NE(e.status().message().find("unit/site"), std::string::npos);
+  }
+}
+
+TEST(ExecCheckpoint, ExpiredDeadlineThrowsKDeadlineExceeded) {
+  ExecContext ctx;
+  ctx.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(ctx.remaining().value(), std::chrono::milliseconds(0));
+  const ScopedExecContext scope(ctx);
+  try {
+    checkpoint("unit/site");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(ExecCheckpoint, FaultRuleFiresOnConfiguredHit) {
+  FaultPlan plan;
+  plan.seed = 1;
+  FaultRule rule;
+  rule.site = "unit/fault";
+  rule.hit = 2;
+  rule.code = StatusCode::kUnavailable;
+  plan.rules.push_back(rule);
+  ExecContext ctx;
+  ctx.faults = &plan;
+  const ScopedExecContext scope(ctx);
+  checkpoint("unit/fault");  // hit 1: passes
+  try {
+    checkpoint("unit/fault");  // hit 2: fires
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(e.status().message().find("unit/fault"), std::string::npos);
+  }
+}
+
+TEST(ExecCheckpoint, SuspendMasksTheContext) {
+  ExecContext ctx;
+  ctx.cancel.cancel();
+  const ScopedExecContext scope(ctx);
+  {
+    const ScopedExecSuspend suspend;
+    EXPECT_EQ(current_exec_context(), nullptr);
+    checkpoint("unit/suspended");  // must not throw
+  }
+  EXPECT_EQ(current_exec_context(), &ctx);
+  EXPECT_THROW(checkpoint("unit/restored"), StatusError);
 }
 
 }  // namespace
